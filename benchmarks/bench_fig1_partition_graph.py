@@ -1,0 +1,45 @@
+"""Experiment E1 (Fig. 1): the partition-graph replay.
+
+Regenerates the Section VI-A narrative: which of the four algorithms
+accepts updates in which partition at each of the five epochs.  The
+benchmark measures a full four-protocol replay; the assertions pin every
+claim the paper makes about the figure.
+"""
+
+from repro.sim import figure1_scenario, paper_protocols
+
+
+def replay_all():
+    scenario = figure1_scenario()
+    return scenario.replay_all(paper_protocols())
+
+
+def test_fig1_replay(benchmark):
+    traces = benchmark(replay_all)
+
+    for trace in traces.values():
+        print()
+        print(trace.format_table())
+
+    # t=1: all four accept in ABC.
+    for trace in traces.values():
+        assert trace.distinguished_at(1.0) == frozenset("ABC")
+    # t=2: the dynamic algorithms accept in AB; voting denies everywhere.
+    assert traces["voting"].distinguished_at(2.0) is None
+    for name in ("dynamic", "dynamic-linear", "hybrid"):
+        assert traces[name].distinguished_at(2.0) == frozenset("AB")
+    # t=3: voting's partition is CDE, dynamic-linear's is A; the paper
+    # notes voting performs three times better here (3 sites vs 1).
+    assert traces["voting"].distinguished_at(3.0) == frozenset("CDE")
+    assert traces["dynamic-linear"].distinguished_at(3.0) == frozenset("A")
+    assert traces["dynamic"].distinguished_at(3.0) is None
+    assert traces["hybrid"].distinguished_at(3.0) is None
+    # t=4: only dynamic-linear (A) and hybrid (BC) accept; the hybrid's
+    # distinguished partition is the larger of the two.
+    assert traces["voting"].distinguished_at(4.0) is None
+    assert traces["dynamic"].distinguished_at(4.0) is None
+    linear = traces["dynamic-linear"].distinguished_at(4.0)
+    hybrid = traces["hybrid"].distinguished_at(4.0)
+    assert linear == frozenset("A")
+    assert hybrid == frozenset("BC")
+    assert len(hybrid) > len(linear)

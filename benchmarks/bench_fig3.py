@@ -1,0 +1,46 @@
+"""Experiment E6 (Fig. 3): normalised availability, 5 sites, ratios 0.1-2.0.
+
+Regenerates the figure's three curves (plus dynamic voting) and asserts
+the published shape: dynamic-linear leads at the smallest ratios, the
+hybrid overtakes at the ~0.63 crossover inside the figure's range, and
+ordinary voting trails the dynamic family across the range (crossing
+dynamic voting near ratio ~0.9 as the figure shows).
+"""
+
+from repro.analysis import figure3_series
+
+
+def test_figure3(benchmark):
+    series = benchmark(figure3_series, 20)
+    print()
+    print(series.render())
+
+    hybrid = series.curve("hybrid")
+    linear = series.curve("dynamic-linear")
+    voting = series.curve("voting")
+    dynamic = series.curve("dynamic")
+    ratios = series.ratios
+
+    # Left edge (ratio 0.1): dynamic-linear on top, hybrid second.
+    assert linear[0] > hybrid[0] > voting[0]
+    # Right edge (ratio 2.0): hybrid on top.
+    assert hybrid[-1] > linear[-1] > voting[-1]
+    # The hybrid/linear crossover happens inside the figure near 0.63.
+    flips = [
+        (a, b)
+        for a, b in zip(ratios, ratios[1:])
+        if (hybrid[ratios.index(a)] - linear[ratios.index(a)])
+        * (hybrid[ratios.index(b)] - linear[ratios.index(b)])
+        < 0
+    ]
+    assert len(flips) == 1
+    low, high = flips[0]
+    assert low < 0.63 < high
+    # Voting leads dynamic voting through the figure's middle band but
+    # dynamic voting overtakes it before ratio 2.0 (and also edges it out
+    # at the extreme left, where shrinking quorums help most).
+    assert voting[ratios.index(ratios[4])] > dynamic[ratios.index(ratios[4])]
+    assert dynamic[-1] > voting[-1]
+    # Every curve increases monotonically with the repair/failure ratio.
+    for curve in (hybrid, linear, voting, dynamic):
+        assert list(curve) == sorted(curve)

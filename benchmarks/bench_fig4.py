@@ -1,0 +1,30 @@
+"""Experiment E7 (Fig. 4): normalised availability, 5 sites, ratios 2-10.
+
+The figure's whole range lies beyond the hybrid/dynamic-linear crossover:
+the published ordering is hybrid > dynamic-linear > voting everywhere,
+with all three curves climbing toward 1 as repairs dominate failures.
+"""
+
+from repro.analysis import figure4_series
+
+
+def test_figure4(benchmark):
+    series = benchmark(figure4_series, 17)
+    print()
+    print(series.render())
+
+    hybrid = series.curve("hybrid")
+    linear = series.curve("dynamic-linear")
+    voting = series.curve("voting")
+    dynamic = series.curve("dynamic")
+
+    for h, l, v, d in zip(hybrid, linear, voting, dynamic):
+        assert h > l > v
+        assert h > d > v  # dynamic also beats voting across Fig. 4
+    # The family converges toward the p = r/(1+r) ceiling.
+    assert hybrid[-1] > 0.99
+    assert voting[-1] > 0.97
+    # The advantage of the dynamic family over voting shrinks with the
+    # ratio (everyone approaches the ceiling).
+    gaps = [h - v for h, v in zip(hybrid, voting)]
+    assert gaps[0] > gaps[-1]

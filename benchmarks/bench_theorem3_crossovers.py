@@ -1,0 +1,40 @@
+"""Experiment E5 (Theorem 3): the full crossover table, n = 3..20.
+
+Regenerates the paper's central table: the repair/failure ratio above
+which the hybrid algorithm's availability exceeds dynamic-linear's.  Every
+row carries an exact rational verification bracket (the paper's own proof
+discipline); the assertion demands agreement with the published value at
+the published precision.
+"""
+
+from repro.analysis import (
+    PAPER_CROSSOVERS,
+    certified_crossover,
+    render_theorem3,
+    theorem3_table,
+)
+
+
+def full_table():
+    return theorem3_table()
+
+
+def test_theorem3_full_table(benchmark):
+    rows = benchmark.pedantic(full_table, rounds=1, iterations=1)
+    print()
+    print(render_theorem3(rows))
+    assert len(rows) == 18
+    for row in rows:
+        assert row.crossover.verified
+        assert row.matches, (row.n_sites, row.measured, row.paper_value)
+    # The published shape: the crossover dips to its minimum at n = 5 and
+    # rises monotonically beyond.
+    measured = {row.n_sites: row.measured for row in rows}
+    assert min(measured, key=measured.get) == 5
+    tail = [measured[n] for n in range(5, 21)]
+    assert tail == sorted(tail)
+
+
+def test_single_certified_crossover(benchmark):
+    result = benchmark(certified_crossover, "hybrid", "dynamic-linear", 5)
+    assert abs(result.value - PAPER_CROSSOVERS[5]) <= 0.011

@@ -1,0 +1,53 @@
+"""Experiment E8: the paper's 3600-point software cross-validation.
+
+The paper recomputed both availabilities numerically for mu/lambda from
+0.1 to 20.0 at intervals of 0.1 "through a different set of software" to
+guard the Theorem 3 proof against bugs.  We run the same grid (200 points
+per protocol at n = 5) comparing two genuinely independent solvers: the
+float path (numpy linear algebra) against the exact path (Fraction
+Gaussian elimination), and additionally re-verify the Theorem 3 ordering
+at every grid point.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import grid_agreement, paper_grid
+from repro.markov import availability_exact
+
+
+def run_grid():
+    grid = paper_grid()  # 0.1 .. 20.0 step 0.1
+    return {
+        name: grid_agreement(name, 5, grid)
+        for name in ("voting", "dynamic", "dynamic-linear", "hybrid")
+    }
+
+
+def test_validation_grid(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(
+            f"  {name:15s}: {result.points} points, "
+            f"max |float - exact| = {result.max_abs_error:.2e}"
+        )
+        assert result.ok(1e-9), name
+    total = sum(r.points for r in results.values())
+    assert total == 800  # 4 protocols x 200 grid points
+
+
+def test_theorem3_ordering_on_the_grid(benchmark):
+    def orderings():
+        flips = []
+        crossover = Fraction(629, 1000)  # certified bracket low for n=5
+        for ratio in paper_grid():
+            hybrid = availability_exact("hybrid", 5, ratio)
+            linear = availability_exact("dynamic-linear", 5, ratio)
+            if (hybrid > linear) != (ratio > crossover):
+                flips.append(ratio)
+        return flips
+
+    flips = benchmark.pedantic(orderings, rounds=1, iterations=1)
+    # No grid point may contradict the certified crossover at 0.629-0.630
+    # (the grid has no point inside the bracket, so zero exceptions).
+    assert flips == []

@@ -1,0 +1,49 @@
+"""Experiment E11: the Section VII vote-reassignment reading, verified.
+
+The paper closes by interpreting the whole dynamic family as dynamic vote
+reassignment in the sense of Barbara, Garcia-Molina & Spauster.  This
+bench runs the interpretation: one majority-over-vote-ledgers protocol,
+four commit policies, and the requirement that each policy's *derived
+Markov chain* equal its classical counterpart's availability exactly.
+"""
+
+from repro.analysis import render_table
+from repro.markov import availability, derive_chain
+from repro.reassignment import POLICIES, VoteReassignmentProtocol
+from repro.types import site_names
+
+PAIRS = [
+    ("keep", "voting"),
+    ("group-consensus", "dynamic"),
+    ("linear-bonus", "dynamic-linear"),
+    ("trio-freeze", "hybrid"),
+]
+
+
+def verify_equivalences():
+    rows = []
+    for policy_name, protocol_name in PAIRS:
+        for n in (3, 5):
+            chain = derive_chain(
+                VoteReassignmentProtocol(site_names(n), POLICIES[policy_name]())
+            )
+            worst = max(
+                abs(chain.availability(r) - availability(protocol_name, n, r))
+                for r in (0.3, 0.82, 1.0, 5.0)
+            )
+            rows.append((policy_name, protocol_name, n, chain.size, worst))
+    return rows
+
+
+def test_vote_reassignment_equivalences(benchmark):
+    rows = benchmark.pedantic(verify_equivalences, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["policy", "classical protocol", "n", "chain states", "max |diff|"],
+            [[p, c, n, s, f"{w:.1e}"] for p, c, n, s, w in rows],
+            title="Section VII: the family as vote reassignment policies",
+        )
+    )
+    for policy_name, protocol_name, n, _, worst in rows:
+        assert worst < 1e-12, (policy_name, protocol_name, n)

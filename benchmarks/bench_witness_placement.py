@@ -1,0 +1,85 @@
+"""Extension experiment: witness placement (Paris's trade-off, swept).
+
+For a fixed total of five voting participants, sweep how many are full
+copies versus witnesses, under the static (Paris) policy and the dynamic
+(group-consensus) policy.  Pins the headline trade-off: witnesses trade a
+little availability for a lot of storage -- and the marginal cost of each
+replaced copy grows as copies get scarce.
+"""
+
+from repro.analysis import render_table
+from repro.markov import availability, derive_chain
+from repro.reassignment import GroupConsensus, KeepVotes, WitnessVotingProtocol
+from repro.types import site_names
+
+TOTAL = 5
+RATIOS = (2.0, 5.0, 10.0)
+
+
+def sweep():
+    sites = site_names(TOTAL)
+    rows = []
+    for witnesses in range(0, TOTAL - 1):  # at least one copy
+        witness_sites = sites[TOTAL - witnesses:] if witnesses else ()
+        results = {}
+        for policy_name, policy in (
+            ("static", KeepVotes()),
+            ("dynamic", GroupConsensus()),
+        ):
+            if witnesses == 0:
+                values = [
+                    availability(
+                        "voting" if policy_name == "static" else "dynamic",
+                        TOTAL,
+                        r,
+                    )
+                    for r in RATIOS
+                ]
+            else:
+                chain = derive_chain(
+                    WitnessVotingProtocol(sites, witness_sites, policy)
+                )
+                values = [chain.availability(r) for r in RATIOS]
+            results[policy_name] = values
+        rows.append((witnesses, results))
+    return rows
+
+
+def test_witness_placement(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    table = []
+    for witnesses, results in rows:
+        copies = TOTAL - witnesses
+        table.append(
+            [
+                f"{copies}c+{witnesses}w",
+                *results["static"],
+                *results["dynamic"],
+            ]
+        )
+    print(
+        render_table(
+            ["layout"]
+            + [f"static r={r}" for r in RATIOS]
+            + [f"dynamic r={r}" for r in RATIOS],
+            table,
+            title=f"Witness placement, {TOTAL} voting participants",
+        )
+    )
+    # Replacing copies with witnesses is monotonically (weakly) worse...
+    for i, ratio in enumerate(RATIOS):
+        static_curve = [results["static"][i] for _, results in rows]
+        assert all(
+            a >= b - 1e-12 for a, b in zip(static_curve, static_curve[1:])
+        )
+    # ...but stays close to full replication while >= 3 copies remain.
+    full = rows[0][1]["static"]
+    three_copies = rows[2][1]["static"]
+    for i, ratio in enumerate(RATIOS):
+        if ratio >= 4.0:
+            assert full[i] - three_copies[i] < 0.012
+    # The dynamic policy beats the static one in every layout at moderate
+    # ratios (the dynamic voting advantage survives witnesses).
+    for witnesses, results in rows:
+        assert results["dynamic"][0] > results["static"][0] - 1e-12

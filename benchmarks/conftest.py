@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(experiment ids E1-E10 in DESIGN.md), asserts the *shape* the paper
+reports, and prints the regenerated rows so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the artifact generator used by
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

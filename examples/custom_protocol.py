@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Write your own replica control protocol and analyse it for free.
+
+This example is for downstream users: subclass
+``ReplicaControlProtocol``, implement the two abstract hooks, and the
+whole toolchain applies unchanged -- the stochastic model, the Monte-Carlo
+estimator, the automatic exact Markov chain, the message-level cluster,
+and the comparison harnesses.
+
+The demo protocol is a *grid quorum* (Cheung/Ammar/Ahamad style): sites
+arranged in a rectangle; a partition is distinguished iff it covers one
+full row (here, with versions guarding freshness exactly as voting does).
+Grid quorums trade availability for tiny quorum sizes -- which the derived
+chain quantifies immediately against the paper's protocols.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from repro.core import QuorumDecision, ReplicaControlProtocol, ReplicaMetadata, Rule
+from repro.markov import availability, derive_chain
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.sim import estimate_availability
+
+
+class GridRowProtocol(ReplicaControlProtocol):
+    """Distinguished iff the partition covers a full row AND a full column
+    intersection guard... simplified: one full row plus one site from
+    every other row (a read-one-row / write-row-plus-cover scheme reduced
+    to its write quorum).
+
+    For a 2 x 3 grid the quorums are: a full row (3 sites) plus one
+    representative of the other row -- 4 sites, but *which* sites matters,
+    unlike voting.  Two such quorums always intersect (both contain a full
+    row and a cover), so the scheme is pessimistic-safe.
+    """
+
+    name = "grid-row"
+
+    def __init__(self, rows):
+        self._rows = [tuple(row) for row in rows]
+        super().__init__([site for row in self._rows for site in row])
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        covers_a_row = any(
+            all(site in partition for site in row) for row in self._rows
+        )
+        covers_all_rows = all(
+            any(site in partition for site in row) for row in self._rows
+        )
+        if covers_a_row and covers_all_rows:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None):
+        return ReplicaMetadata(decision.max_version + 1, self.n_sites, ())
+
+
+def main() -> None:
+    grid = GridRowProtocol([["A", "B", "C"], ["D", "E", "F"]])
+
+    print("1. quorum sanity (state level):")
+    copies = dict.fromkeys(grid.sites, grid.initial_metadata())
+    for partition, expected in (
+        ({"A", "B", "C", "D"}, True),    # row 1 + cover of row 2
+        ({"A", "B", "C"}, False),        # a row but no cover
+        ({"A", "B", "D", "E"}, False),   # covers rows but no full row
+        ({"A", "B", "C", "D", "E", "F"}, True),
+    ):
+        decision = grid.is_distinguished(partition, copies)
+        label = "".join(sorted(partition))
+        print(f"   {label:8s} -> {decision.granted} (expected {expected})")
+        assert decision.granted == expected
+
+    print("\n2. exact availability from the derived Markov chain:")
+    chain = derive_chain(grid)
+    for ratio in (1.0, 2.0, 5.0):
+        grid_value = chain.availability(ratio)
+        voting6 = availability("voting", 6, ratio)
+        hybrid6 = availability("hybrid", 6, ratio)
+        print(
+            f"   r={ratio:4}: grid-row={grid_value:.4f}  "
+            f"voting(6)={voting6:.4f}  hybrid(6)={hybrid6:.4f}"
+        )
+        assert grid_value < hybrid6  # the price of structured quorums
+
+    print("\n3. Monte-Carlo agreement with the chain:")
+    result = estimate_availability(
+        lambda sites: GridRowProtocol([["A", "B", "C"], ["D", "E", "F"]]),
+        6,
+        2.0,
+        replicates=4,
+        events=6_000,
+        seed=11,
+    )
+    expected = chain.availability(2.0)
+    print(f"   simulated {result.mean:.4f} +/- {result.stderr:.4f} "
+          f"vs chain {expected:.4f}")
+    assert result.agrees_with(expected)
+
+    print("\n4. the full message-level protocol runs it unchanged:")
+    cluster = ReplicaCluster(grid, initial_value="v0")
+    run = cluster.submit_update("A", "v1")
+    cluster.settle()
+    assert run.status is RunStatus.COMMITTED
+    cluster.fail_site("D")
+    cluster.fail_site("E")
+    cluster.fail_site("F")  # row 2 gone: no cover possible
+    denied = cluster.submit_update("A", "v2")
+    cluster.settle()
+    assert denied.status is RunStatus.DENIED
+    print(f"   committed: {run.describe()}")
+    print(f"   denied:    {denied.describe()}")
+    cluster.check_consistency()
+    print("\ncustom protocol fully analysed with zero extra tooling.")
+
+
+if __name__ == "__main__":
+    main()

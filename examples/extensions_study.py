@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The Section VII frontier: reassignment policies, witnesses, asymmetry.
+
+The paper closes with three threads this library makes executable:
+
+1. *the family is vote reassignment* -- one majority-over-ledgers protocol
+   with four commit policies reproduces voting, dynamic voting,
+   dynamic-linear, and the hybrid exactly;
+2. *arbitrary distinguished sets* -- the generalized hybrid shows that
+   three is the unique static-list size that ever engages under the
+   frequent-update model;
+3. *heterogeneous models* -- exact chains under per-site rates, witnesses
+   (Paris's scheme, the source of the paper's model), and optimal static
+   vote assignments.
+
+Run:  python examples/extensions_study.py       (about a minute)
+"""
+
+from repro.core import GeneralizedHybridProtocol, make_protocol
+from repro.markov import availability, derive_chain, heterogeneous_availability
+from repro.quorums import optimal_vote_assignment
+from repro.reassignment import (
+    POLICIES,
+    GroupConsensus,
+    KeepVotes,
+    VoteReassignmentProtocol,
+    WitnessVotingProtocol,
+)
+from repro.types import site_names
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    banner("1. the dynamic family as vote reassignment policies")
+    pairs = [
+        ("keep", "voting"),
+        ("group-consensus", "dynamic"),
+        ("linear-bonus", "dynamic-linear"),
+        ("trio-freeze", "hybrid"),
+    ]
+    for policy_name, protocol_name in pairs:
+        protocol = VoteReassignmentProtocol(site_names(5), POLICIES[policy_name]())
+        chain = derive_chain(protocol)
+        worst = max(
+            abs(chain.availability(r) - availability(protocol_name, 5, r))
+            for r in (0.5, 1.0, 3.0)
+        )
+        print(f"  {policy_name:16s} == {protocol_name:15s} (max diff {worst:.1e})")
+        assert worst < 1e-12
+
+    banner("2. the static-list size ablation (generalized hybrid, n=7)")
+    for threshold in (3, 5, 7):
+        chain = derive_chain(
+            GeneralizedHybridProtocol(site_names(7), threshold=threshold)
+        )
+        value = chain.availability(1.0)
+        note = ""
+        if abs(value - availability("dynamic-linear", 7, 1.0)) < 1e-12:
+            note = "  <- inert: exactly dynamic-linear"
+        print(f"  t={threshold}: availability(r=1) = {value:.6f}{note}")
+
+    banner("3a. witnesses (Paris): 3 copies + 2 witnesses vs full replication")
+    witness = derive_chain(
+        WitnessVotingProtocol(site_names(5), witnesses=["D", "E"], policy=KeepVotes())
+    )
+    for ratio in (2.0, 5.0, 10.0):
+        print(
+            f"  r={ratio:4}: witnesses={witness.availability(ratio):.4f}  "
+            f"voting5={availability('voting', 5, ratio):.4f}  "
+            f"voting3={availability('voting', 3, ratio):.4f}"
+        )
+
+    banner("3b. heterogeneous rates: one flaky site (fails 6x as often)")
+    sites = site_names(5)
+    for name in ("voting", "dynamic", "hybrid"):
+        protocol = make_protocol(name, sites)
+        uniform = heterogeneous_availability(
+            protocol, dict.fromkeys(sites, 1.0), dict.fromkeys(sites, 2.0)
+        )
+        flaky = heterogeneous_availability(
+            protocol,
+            dict(dict.fromkeys(sites, 1.0), A=6.0),
+            dict.fromkeys(sites, 2.0),
+        )
+        print(f"  {name:15s}: uniform={uniform:.4f}  flaky-A={flaky:.4f}")
+
+    banner("3c. optimal static votes under asymmetric reliability")
+    result = optimal_vote_assignment(
+        site_names(3), {"A": 0.95, "B": 0.65, "C": 0.65}, max_votes_per_site=2
+    )
+    print(
+        f"  p = (0.95, 0.65, 0.65): optimal votes {dict(result.votes)} "
+        f"with availability {result.availability:.4f}"
+    )
+    print("\nall extension claims verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Experiment layer: tables, figures, crossovers, and validation harnesses.
+
+Every table and figure of the paper maps to a generator here (see
+DESIGN.md's experiment index); the benchmarks and the CLI are thin wrappers
+over these functions.
+"""
+
+from .artifact import ARTIFACT_VERSION, collect_results, write_artifact
+from .crossover import (
+    PAPER_CROSSOVERS,
+    CrossoverResult,
+    certified_crossover,
+    numeric_crossover,
+    uniqueness_certificate,
+)
+from .proof import Theorem3Proof, theorem3_proof
+from .figures import (
+    FIGURE_PROTOCOLS,
+    FigureSeries,
+    figure3_series,
+    figure4_series,
+    figure_series,
+)
+from .report import render_series, render_table
+from .sensitivity import traditional_availability, traditional_crossover
+from .tables import (
+    Theorem3Row,
+    comparison_table,
+    render_theorem3,
+    theorem2_check,
+    theorem3_table,
+)
+from .validation import (
+    GridAgreement,
+    derived_chain_agreement,
+    grid_agreement,
+    montecarlo_agreement,
+    paper_grid,
+)
+
+__all__ = [
+    "collect_results",
+    "write_artifact",
+    "ARTIFACT_VERSION",
+    "PAPER_CROSSOVERS",
+    "CrossoverResult",
+    "numeric_crossover",
+    "certified_crossover",
+    "uniqueness_certificate",
+    "Theorem3Proof",
+    "theorem3_proof",
+    "FigureSeries",
+    "FIGURE_PROTOCOLS",
+    "figure_series",
+    "figure3_series",
+    "figure4_series",
+    "render_table",
+    "render_series",
+    "traditional_availability",
+    "traditional_crossover",
+    "Theorem3Row",
+    "theorem3_table",
+    "render_theorem3",
+    "theorem2_check",
+    "comparison_table",
+    "GridAgreement",
+    "grid_agreement",
+    "montecarlo_agreement",
+    "derived_chain_agreement",
+    "paper_grid",
+]

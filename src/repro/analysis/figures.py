@@ -1,0 +1,84 @@
+"""Series generators for the paper's figures (experiments E6, E7).
+
+Figs. 3 and 4 plot the *normalised* availability (availability divided by
+the probability an arbitrary site is up) of the hybrid algorithm,
+dynamic-linear, and ordinary voting for five sites, against the
+repair/failure ratio: 0.1 to 2.0 in Fig. 3 and 2.0 to 10.0 in Fig. 4.
+
+The generators return plain data (ratios plus one value list per curve) so
+benchmarks, the CLI, and tests share one implementation; dynamic voting is
+included as an extra curve because the paper's Theorem 2 discussion leans
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..markov import normalized_availability
+from .report import render_series
+
+__all__ = ["FigureSeries", "figure3_series", "figure4_series", "figure_series"]
+
+#: The protocols drawn in Figs. 3 and 4 (plus dynamic voting as a bonus).
+FIGURE_PROTOCOLS: tuple[str, ...] = ("voting", "dynamic", "dynamic-linear", "hybrid")
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One figure's data: x values and named normalised-availability curves."""
+
+    name: str
+    n_sites: int
+    ratios: tuple[float, ...]
+    curves: dict[str, tuple[float, ...]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """ASCII table of the figure's series."""
+        return render_series(
+            "mu/lambda",
+            self.ratios,
+            {k: list(v) for k, v in self.curves.items()},
+            title=f"{self.name} (n={self.n_sites}, normalised availability)",
+        )
+
+    def curve(self, protocol: str) -> tuple[float, ...]:
+        """One named curve."""
+        try:
+            return self.curves[protocol]
+        except KeyError:
+            raise AnalysisError(
+                f"{self.name} has no curve for {protocol!r}"
+            ) from None
+
+
+def figure_series(
+    name: str,
+    n: int,
+    low: float,
+    high: float,
+    steps: int,
+    protocols: tuple[str, ...] = FIGURE_PROTOCOLS,
+) -> FigureSeries:
+    """Normalised availability curves over a uniform ratio grid."""
+    if steps < 2:
+        raise AnalysisError(f"need at least two grid points, got {steps}")
+    ratios = tuple(low + (high - low) * i / (steps - 1) for i in range(steps))
+    curves = {
+        protocol: tuple(
+            normalized_availability(protocol, n, ratio) for ratio in ratios
+        )
+        for protocol in protocols
+    }
+    return FigureSeries(name, n, ratios, curves)
+
+
+def figure3_series(steps: int = 20, n: int = 5) -> FigureSeries:
+    """Fig. 3: five sites, small repair/failure ratios (0.1 .. 2.0)."""
+    return figure_series("Figure 3", n, 0.1, 2.0, steps)
+
+
+def figure4_series(steps: int = 17, n: int = 5) -> FigureSeries:
+    """Fig. 4: five sites, large repair/failure ratios (2.0 .. 10.0)."""
+    return figure_series("Figure 4", n, 2.0, 10.0, steps)

@@ -1,0 +1,171 @@
+"""The complete mechanically-aided proof of Theorem 3, as an object.
+
+The paper's proof for each *n* has four exhibits; :func:`theorem3_proof`
+produces all of them with exact arithmetic and returns a
+:class:`Theorem3Proof` that can re-verify itself and print a transcript:
+
+1. the symbolic availabilities of the hybrid algorithm and dynamic-linear
+   (rational functions of ``r = mu/lambda``, from the balance equations);
+2. the *difference polynomial* -- the numerator of their difference;
+3. the uniqueness certificate: Descartes' sign-change count and the Sturm
+   count of distinct positive roots (both must be one);
+4. the certified bracket: rational endpoints 1/1000 apart at which the
+   difference is exactly negative / exactly positive.
+
+This is slower than the numeric path (full symbolic solves), so the table
+harness (:func:`repro.analysis.tables.theorem3_table`) uses the cheaper
+exact-bracket route; this module exists to reproduce the *proof*, not just
+the numbers, and is exercised for moderate *n* in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import AnalysisError
+from ..markov import availability_exact, availability_symbolic
+from ..ratfunc import (
+    Polynomial,
+    RationalFunction,
+    bisect_root,
+    count_positive_roots,
+    isolate_positive_roots,
+)
+from .crossover import PAPER_CROSSOVERS
+
+__all__ = ["Theorem3Proof", "theorem3_proof"]
+
+
+@dataclass(frozen=True)
+class Theorem3Proof:
+    """All exhibits of the Theorem 3 proof for one value of *n*."""
+
+    n_sites: int
+    hybrid: RationalFunction
+    linear: RationalFunction
+    difference_numerator: Polynomial
+    descartes_sign_changes: int
+    sturm_positive_roots: int
+    bracket: tuple[Fraction, Fraction]
+
+    @property
+    def crossover(self) -> float:
+        """Midpoint of the certified bracket."""
+        return float(sum(self.bracket) / 2)
+
+    @property
+    def unique(self) -> bool:
+        """True iff both uniqueness arguments certify a single crossing."""
+        return self.descartes_sign_changes == 1 and self.sturm_positive_roots == 1
+
+    def verify(self) -> None:
+        """Re-check every exhibit from scratch; raises on any failure."""
+        low, high = self.bracket
+        if not 0 < low < high:
+            raise AnalysisError(f"malformed bracket {self.bracket}")
+        # The difference changes sign across the bracket, exactly.
+        difference_low = availability_exact(
+            "hybrid", self.n_sites, low
+        ) - availability_exact("dynamic-linear", self.n_sites, low)
+        difference_high = availability_exact(
+            "hybrid", self.n_sites, high
+        ) - availability_exact("dynamic-linear", self.n_sites, high)
+        if not (difference_low < 0 < difference_high):
+            raise AnalysisError(
+                f"bracket {self.bracket} does not certify the crossing"
+            )
+        # The symbolic difference agrees with the exact evaluations.
+        symbolic = self.hybrid - self.linear
+        for point in (low, high):
+            lhs = symbolic(point)
+            rhs = availability_exact(
+                "hybrid", self.n_sites, point
+            ) - availability_exact("dynamic-linear", self.n_sites, point)
+            if lhs != rhs:
+                raise AnalysisError("symbolic difference mismatch")
+        # Its numerator matches the stored polynomial (up to the factored
+        # root at r = 0 and a positive constant).
+        raw = symbolic.numerator
+        zeros = 0
+        while raw[zeros] == 0:
+            zeros += 1
+        stripped = Polynomial(raw.coefficients[zeros:])
+        if stripped.monic() != self.difference_numerator.monic():
+            raise AnalysisError("difference numerator mismatch")
+        # Uniqueness certificates.
+        if count_positive_roots(self.difference_numerator) != (
+            self.sturm_positive_roots
+        ):
+            raise AnalysisError("Sturm count changed on re-verification")
+        if not self.unique:
+            raise AnalysisError("the proof does not certify uniqueness")
+
+    def transcript(self) -> str:
+        """A human-readable rendering of the proof."""
+        low, high = self.bracket
+        lines = [
+            f"Theorem 3, n = {self.n_sites}:",
+            f"  availability difference numerator (degree "
+            f"{self.difference_numerator.degree}):",
+            f"    {self.difference_numerator.to_string()}",
+            f"  Descartes sign changes: {self.descartes_sign_changes} "
+            "(one change => at most one positive root)",
+            f"  Sturm positive-root count: {self.sturm_positive_roots}",
+            f"  certified bracket: difference({low}) < 0 < difference({high})",
+            f"  hence hybrid > dynamic-linear iff mu/lambda >= "
+            f"{self.crossover:.3f}",
+        ]
+        expected = PAPER_CROSSOVERS.get(self.n_sites)
+        if expected is not None:
+            lines.append(f"  paper's value: {expected}")
+        return "\n".join(lines)
+
+
+def theorem3_proof(n: int, decimals: int = 3) -> Theorem3Proof:
+    """Produce the full proof for one *n* (symbolic solve included)."""
+    if n < 3:
+        raise AnalysisError(f"Theorem 3 concerns n >= 3, got {n}")
+    hybrid = availability_symbolic("hybrid", n)
+    linear = availability_symbolic("dynamic-linear", n)
+    difference = hybrid - linear
+    numerator = difference.numerator
+    # Normalise the sign so that "positive numerator" means "hybrid ahead"
+    # for large r (both denominators are positive on r > 0).
+    probe = Fraction(10**6)
+    if difference(probe) > 0 and numerator(probe) < 0:
+        numerator = -numerator
+    # Factor out the root at r = 0 (both availabilities vanish there), so
+    # positive-root work sees only genuine crossings.
+    trailing_zeros = 0
+    while numerator[trailing_zeros] == 0:
+        trailing_zeros += 1
+    if trailing_zeros:
+        numerator = Polynomial(numerator.coefficients[trailing_zeros:])
+    descartes = numerator.sign_changes()
+    sturm = count_positive_roots(numerator)
+    intervals = isolate_positive_roots(numerator)
+    if len(intervals) != 1:
+        raise AnalysisError(
+            f"expected a single positive root at n={n}, found {len(intervals)}"
+        )
+    low, high = bisect_root(
+        numerator, intervals[0][0], intervals[0][1],
+        tolerance=Fraction(1, 10**decimals),
+    )
+    if low == high:
+        # Landed exactly on the root; widen to an open bracket.
+        step = Fraction(1, 10 ** (decimals + 2))
+        low, high = low - step, high + step
+    # Orient the bracket by the exact difference signs.
+    if difference(low) > 0 or difference(high) < 0:
+        raise AnalysisError(f"unexpected difference orientation at n={n}")
+    return Theorem3Proof(
+        n_sites=n,
+        hybrid=hybrid,
+        linear=linear,
+        difference_numerator=numerator,
+        descartes_sign_changes=descartes,
+        sturm_positive_roots=sturm,
+        bracket=(low, high),
+    )

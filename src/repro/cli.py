@@ -1,0 +1,207 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Subcommands map to the experiment index of DESIGN.md::
+
+    repro theorem3                    # E5: the crossover table
+    repro figure 3 / repro figure 4   # E6/E7: normalised availability
+    repro fig1                        # E1: partition-graph replay
+    repro chain --protocol hybrid -n 5  # E2: state diagram dump
+    repro compare -n 5 -r 0.5 1 2 5   # availability matrix
+    repro simulate --protocol hybrid -n 5 -r 1.0  # E9: MC vs analytic
+    repro crossover --first hybrid --second dynamic -n 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import (
+    certified_crossover,
+    comparison_table,
+    figure3_series,
+    figure4_series,
+    render_series,
+    render_theorem3,
+    theorem3_proof,
+    theorem3_table,
+)
+from .markov import (
+    availability,
+    chain_for,
+    mean_time_to_blocking,
+    state_tuple,
+    transient_availability,
+)
+from .sim import estimate_availability, figure1_scenario, paper_protocols
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic voting replica control: tables, figures, simulations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("theorem3", help="regenerate the Theorem 3 crossover table")
+    p.add_argument("--n-min", type=int, default=3)
+    p.add_argument("--n-max", type=int, default=20)
+
+    p = sub.add_parser("figure", help="regenerate Fig. 3 or Fig. 4 series")
+    p.add_argument("number", type=int, choices=(3, 4))
+    p.add_argument("--steps", type=int, default=20)
+
+    sub.add_parser("fig1", help="replay the Fig. 1 partition graph")
+
+    p = sub.add_parser("chain", help="dump a protocol's Markov chain (Fig. 2)")
+    p.add_argument("--protocol", default="hybrid")
+    p.add_argument("-n", "--sites", type=int, default=5)
+
+    p = sub.add_parser("compare", help="availability matrix at fixed n")
+    p.add_argument("-n", "--sites", type=int, default=5)
+    p.add_argument("-r", "--ratios", type=float, nargs="+",
+                   default=[0.5, 1.0, 2.0, 5.0, 10.0])
+
+    p = sub.add_parser("simulate", help="Monte-Carlo vs analytic availability")
+    p.add_argument("--protocol", default="hybrid")
+    p.add_argument("-n", "--sites", type=int, default=5)
+    p.add_argument("-r", "--ratio", type=float, default=1.0)
+    p.add_argument("--events", type=int, default=20_000)
+    p.add_argument("--replicates", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2026)
+
+    p = sub.add_parser("crossover", help="certified crossover of two protocols")
+    p.add_argument("--first", default="hybrid")
+    p.add_argument("--second", default="dynamic-linear")
+    p.add_argument("-n", "--sites", type=int, default=5)
+
+    p = sub.add_parser(
+        "proof", help="the full symbolic Theorem 3 proof for one n"
+    )
+    p.add_argument("-n", "--sites", type=int, default=5)
+
+    p = sub.add_parser(
+        "artifact", help="write the machine-readable results artifact"
+    )
+    p.add_argument("--output", default="reproduction_artifact.json")
+    p.add_argument("--n-max", type=int, default=8)
+
+    p = sub.add_parser(
+        "transient", help="availability over time from a healthy start"
+    )
+    p.add_argument("--protocol", default="hybrid")
+    p.add_argument("-n", "--sites", type=int, default=5)
+    p.add_argument("-r", "--ratio", type=float, default=1.0)
+    p.add_argument(
+        "-t", "--times", type=float, nargs="+",
+        default=[0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0],
+    )
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "theorem3":
+        rows = theorem3_table(range(args.n_min, args.n_max + 1))
+        print(render_theorem3(rows))
+        return 0 if all(r.matches for r in rows) else 1
+    if args.command == "figure":
+        series = (
+            figure3_series(args.steps) if args.number == 3 else figure4_series(args.steps)
+        )
+        print(series.render())
+        return 0
+    if args.command == "fig1":
+        scenario = figure1_scenario()
+        for trace in scenario.replay_all(paper_protocols()).values():
+            print(trace.format_table())
+            print()
+        return 0
+    if args.command == "chain":
+        chain = chain_for(args.protocol, args.sites)
+        print(f"{chain.name}: {chain.size} states")
+        for arc in chain.arcs():
+            rate = []
+            if arc.failures:
+                rate.append(f"{arc.failures}*lambda")
+            if arc.repairs:
+                rate.append(f"{arc.repairs}*mu")
+            source, target = arc.source, arc.target
+            if args.protocol in ("hybrid", "modified-hybrid"):
+                source = state_tuple(source, args.sites)
+                target = state_tuple(target, args.sites)
+            print(f"  {source} -> {target}  @ {' + '.join(rate)}")
+        return 0
+    if args.command == "compare":
+        print(comparison_table(args.sites, args.ratios))
+        return 0
+    if args.command == "simulate":
+        analytic = availability(args.protocol, args.sites, args.ratio)
+        result = estimate_availability(
+            args.protocol,
+            args.sites,
+            args.ratio,
+            replicates=args.replicates,
+            events=args.events,
+            seed=args.seed,
+        )
+        low, high = result.confidence_interval()
+        print(
+            f"{args.protocol} n={args.sites} ratio={args.ratio}:\n"
+            f"  analytic    = {analytic:.6f}\n"
+            f"  monte-carlo = {result.mean:.6f} +/- {result.stderr:.6f} "
+            f"(95% CI [{low:.6f}, {high:.6f}])"
+        )
+        return 0 if result.agrees_with(analytic) else 1
+    if args.command == "crossover":
+        result = certified_crossover(args.first, args.second, args.sites)
+        print(
+            f"{result.first} overtakes {result.second} at n={result.n_sites} "
+            f"for mu/lambda >= {result.value:.3f} "
+            f"(exact bracket [{float(result.low):.3f}, {float(result.high):.3f}])"
+        )
+        return 0
+    if args.command == "proof":
+        proof = theorem3_proof(args.sites)
+        proof.verify()
+        print(proof.transcript())
+        return 0 if proof.unique else 1
+    if args.command == "artifact":
+        from .analysis import write_artifact
+
+        results = write_artifact(
+            args.output, n_values=tuple(range(3, args.n_max + 1))
+        )
+        print(
+            f"wrote {args.output}: {len(results['theorem3'])} crossovers, "
+            f"{len(results)} sections"
+        )
+        return 0
+    if args.command == "transient":
+        chain = chain_for(args.protocol, args.sites)
+        values = transient_availability(chain, args.ratio, args.times)
+        print(
+            render_series(
+                "t",
+                args.times,
+                {"availability": values},
+                title=(
+                    f"{args.protocol}, n={args.sites}, mu/lambda={args.ratio} "
+                    "(from all-up at t=0)"
+                ),
+            )
+        )
+        mttb = mean_time_to_blocking(chain, args.ratio)
+        print(f"mean time to first blocking: {mttb:.4f} (1/lambda units)")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Quorum decision records returned by the replica control protocols.
+
+A decision explains *why* a partition is (or is not) distinguished, naming
+the rule of the paper's ``Is_Distinguished`` routine that fired.  Keeping the
+rule on the record lets tests assert against the paper's worked example
+line-by-line and lets traces explain protocol behaviour to a reader.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..types import SiteId
+from .metadata import ReplicaMetadata
+
+__all__ = ["Rule", "QuorumDecision", "UpdateOutcome"]
+
+
+class Rule(enum.Enum):
+    """Which clause of ``Is_Distinguished`` (Section V-B) decided the quorum."""
+
+    #: card(I) > N/2 -- the dynamic voting majority rule (step 3).
+    DYNAMIC_MAJORITY = "dynamic-majority"
+    #: card(I) = N/2 and the distinguished site lies in I (step 4).
+    LINEAR_TIEBREAK = "linear-tiebreak"
+    #: N = 3 and the partition holds two or three of the listed sites (step 5).
+    STATIC_TRIO = "static-trio"
+    #: Static voting: the partition holds a majority of the votes.
+    STATIC_MAJORITY = "static-majority"
+    #: Static voting with a primary site: exactly half the votes plus primary.
+    PRIMARY_TIEBREAK = "primary-tiebreak"
+    #: Section VII optimal candidate: one current copy plus most of all sites.
+    GLOBAL_TIEBREAK = "global-tiebreak"
+    #: No clause applied; the partition is not distinguished (step 6).
+    DENIED = "denied"
+
+
+@dataclass(frozen=True, slots=True)
+class QuorumDecision:
+    """Outcome of asking a protocol whether a partition is distinguished.
+
+    Attributes
+    ----------
+    granted:
+        True iff the partition may process updates.
+    rule:
+        The clause that granted (or :attr:`Rule.DENIED`).
+    max_version:
+        Largest version number *M* found in the partition.
+    current:
+        The set *I* of partition members holding version *M*.
+    cardinality:
+        The update sites cardinality *N* shared by the members of *I*.
+    """
+
+    granted: bool
+    rule: Rule
+    max_version: int
+    current: frozenset[SiteId]
+    cardinality: int
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+    def explain(self) -> str:
+        """One-line human-readable explanation of the decision."""
+        verdict = "distinguished" if self.granted else "not distinguished"
+        members = "".join(sorted(self.current)) or "-"
+        return (
+            f"{verdict} via {self.rule.value}: M={self.max_version}, "
+            f"I={{{members}}}, N={self.cardinality}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateContext:
+    """Optional environmental knowledge passed to ``attempt_update``.
+
+    The protocols are pure functions of the partition and the copies, with
+    one documented exception: the modified hybrid algorithm of Section VII
+    (Change 1) names "the site that most recently failed" as the new
+    distinguished site after a two-site update.  Site crashes are detectable
+    in the paper's failure model, so this is legitimate environmental input;
+    simulators pass it here.  When absent, protocols that want it fall back
+    to a deterministic choice among the sites outside the partition.
+    """
+
+    recent_failure: SiteId | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateOutcome:
+    """Result of attempting an update in a partition.
+
+    ``accepted`` mirrors the decision; when accepted, ``metadata`` is the new
+    (identical) metadata installed at every partition member and ``decision``
+    records the quorum rationale.  ``stale_members`` lists the partition
+    members that had to catch up (the paper's set ``P - I``).
+    """
+
+    accepted: bool
+    decision: QuorumDecision
+    metadata: ReplicaMetadata | None
+    stale_members: frozenset[SiteId]

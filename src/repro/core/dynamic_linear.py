@@ -1,0 +1,54 @@
+"""Dynamic voting with linearly ordered copies ("dynamic-linear", VLDB 1987).
+
+Dynamic-linear extends dynamic voting with a third per-copy variable, the
+*distinguished site*: whenever an even number of sites participates in an
+update, they all record the participant that is greatest in an a priori
+total order.  A partition holding exactly half of the current copies wins
+the tie iff it contains the distinguished site.  The practical effect is
+that the update sites cardinality can shrink all the way to a single site,
+which is where most of dynamic-linear's availability advantage over both
+voting and plain dynamic voting comes from.
+"""
+
+from __future__ import annotations
+
+from ..types import SiteId
+from .base import ReplicaControlProtocol
+from .decision import QuorumDecision, Rule
+from .metadata import ReplicaMetadata
+
+__all__ = ["DynamicLinearProtocol"]
+
+
+class DynamicLinearProtocol(ReplicaControlProtocol):
+    """Dynamic voting with linearly ordered copies.
+
+    Quorum rule: ``card(I) > N/2``, or ``card(I) = N/2`` with the recorded
+    distinguished site a member of *I*.  On commit the cardinality becomes
+    the partition size and, when that size is even, the distinguished site
+    becomes the greatest committing site.
+    """
+
+    name = "dynamic-linear"
+
+    def _initial_distinguished(self) -> tuple[SiteId, ...]:
+        if self.n_sites % 2 == 0:
+            return (self.greatest(self.sites),)
+        return ()
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        if self._dynamic_majority(current, meta.cardinality):
+            return QuorumDecision(
+                True, Rule.DYNAMIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        ties = 2 * len(current) == meta.cardinality
+        if ties and len(meta.distinguished) == 1 and meta.distinguished[0] in current:
+            return QuorumDecision(
+                True, Rule.LINEAR_TIEBREAK, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> ReplicaMetadata:
+        size = len(partition)
+        distinguished = (self.greatest(partition),) if size % 2 == 0 else ()
+        return ReplicaMetadata(decision.max_version + 1, size, distinguished)

@@ -1,0 +1,42 @@
+"""Dynamic voting (Jajodia & Mutchler, SIGMOD 1987) -- the core protocol.
+
+Each copy carries a version number *VN* and an update sites cardinality *SC*
+(the number of sites that participated in the most recent update).  A
+partition is distinguished iff it contains **more than half of the sites
+that hold the current version**, i.e. more than ``SC/2`` of the sites at
+version ``max VN``.  Every successful update then resets ``SC`` to the size
+of the committing partition, so the quorum requirement tracks the shrinking
+and growing of the distinguished partition itself rather than the static
+site population -- the key idea that lets the system keep accepting updates
+through cascades of failures that would block static voting.
+"""
+
+from __future__ import annotations
+
+from .base import ReplicaControlProtocol
+from .decision import QuorumDecision, Rule
+from .metadata import ReplicaMetadata
+
+__all__ = ["DynamicVotingProtocol"]
+
+
+class DynamicVotingProtocol(ReplicaControlProtocol):
+    """The SIGMOD'87 dynamic voting protocol.
+
+    ``Is_Distinguished`` reduces to the single dynamic majority rule
+    ``card(I) > N/2``; ``Do_Update`` sets the new cardinality to the size of
+    the committing partition.  The distinguished-sites entry is unused and
+    kept empty.
+    """
+
+    name = "dynamic"
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        if self._dynamic_majority(current, meta.cardinality):
+            return QuorumDecision(
+                True, Rule.DYNAMIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> ReplicaMetadata:
+        return ReplicaMetadata(decision.max_version + 1, len(partition), ())

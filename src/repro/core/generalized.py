@@ -1,0 +1,132 @@
+"""The generalized hybrid family (Section VII's closing remark).
+
+The paper observes that the hybrid's three-site static phase is "but one
+of many hybrids possible": *"one could permit DS to be an arbitrary set of
+sites, with a majority of them required to break the tie"*.  This module
+implements that family.  :class:`GeneralizedHybridProtocol` takes an odd
+*threshold* ``t >= 3``: an update performed by exactly *t* sites records
+all *t* participants as the distinguished sites list and freezes the
+protocol into a static phase whose quorums are the majorities of the
+listed *t* sites.  A distinguished partition larger than the minimal
+majority re-enters the dynamic phase, exactly as the hybrid does for
+``t = 3`` -- and indeed ``GeneralizedHybridProtocol(sites, threshold=3)``
+accepts precisely the updates of :class:`~repro.core.hybrid.HybridProtocol`.
+
+Together with the automatic chain builder this answers the paper's
+implicit ablation question: is three the right threshold?  The answer is
+sharper than "best": under the frequent-update model **three is the unique
+threshold at which the static phase engages at all**.  The static
+exception fires only when a distinguished partition has exactly the
+minimal majority ``(t+1)/2`` of the listed sites, and with updates after
+every event the system reaches that size one failure at a time -- from
+*t* up sites a single failure leaves ``t - 1``, which equals the minimal
+majority iff ``t = 3``.  For every odd ``t >= 5`` the freshly installed
+list is dismantled by the next update and the protocol is exactly
+dynamic-linear (verified mechanically in
+``benchmarks/bench_ablation_threshold.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ProtocolError
+from ..types import SiteId
+from .base import ReplicaControlProtocol
+from .decision import QuorumDecision, Rule
+from .metadata import ReplicaMetadata
+
+__all__ = ["GeneralizedHybridProtocol"]
+
+
+class GeneralizedHybridProtocol(ReplicaControlProtocol):
+    """Dynamic-linear with a static phase of parametric size.
+
+    Parameters
+    ----------
+    sites:
+        All sites holding a copy.
+    threshold:
+        Odd integer >= 3: the update cardinality that triggers the static
+        phase.  ``threshold=3`` reproduces the paper's hybrid algorithm.
+    order:
+        Optional total order (as in the other ordered protocols).
+    """
+
+    name = "generalized-hybrid"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        threshold: int = 3,
+        order: Sequence[SiteId] | None = None,
+    ) -> None:
+        super().__init__(sites, order)
+        if threshold < 3 or threshold % 2 == 0:
+            raise ProtocolError(
+                f"the static threshold must be an odd integer >= 3, got {threshold}"
+            )
+        if threshold > self.n_sites:
+            raise ProtocolError(
+                f"threshold {threshold} exceeds the number of sites {self.n_sites}"
+            )
+        self._threshold = threshold
+        self._majority = threshold // 2 + 1
+
+    @property
+    def threshold(self) -> int:
+        """The static-phase trigger cardinality *t*."""
+        return self._threshold
+
+    @property
+    def static_majority(self) -> int:
+        """Sites required from the listed group: ``t // 2 + 1``."""
+        return self._majority
+
+    def _initial_distinguished(self) -> tuple[SiteId, ...]:
+        if self.n_sites == self._threshold:
+            return tuple(sorted(self.sites))
+        if self.n_sites % 2 == 0:
+            return (self.greatest(self.sites),)
+        return ()
+
+    def in_static_phase(self, meta: ReplicaMetadata) -> bool:
+        """True iff metadata carries a full static list."""
+        return (
+            meta.cardinality == self._threshold
+            and len(meta.distinguished) == self._threshold
+        )
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        cardinality = meta.cardinality
+        if self._dynamic_majority(current, cardinality):
+            return QuorumDecision(
+                True, Rule.DYNAMIC_MAJORITY, max_version, current, cardinality
+            )
+        ties = 2 * len(current) == cardinality
+        if ties and len(meta.distinguished) == 1 and meta.distinguished[0] in current:
+            return QuorumDecision(
+                True, Rule.LINEAR_TIEBREAK, max_version, current, cardinality
+            )
+        if self.in_static_phase(meta):
+            listed_present = sum(1 for s in meta.distinguished if s in partition)
+            if listed_present >= self._majority:
+                return QuorumDecision(
+                    True, Rule.STATIC_TRIO, max_version, current, cardinality
+                )
+        return self._denied(max_version, current, cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None):
+        # The static-phase exception, generalised: a minimal-majority
+        # update while the static list is in force leaves SC and DS alone.
+        if self.in_static_phase(meta) and len(partition) == self._majority:
+            return meta.bump_version()
+        size = len(partition)
+        distinguished: tuple[SiteId, ...]
+        if size == self._threshold:
+            distinguished = tuple(sorted(partition))
+        elif size % 2 == 0:
+            distinguished = (self.greatest(partition),)
+        else:
+            distinguished = ()
+        return ReplicaMetadata(decision.max_version + 1, size, distinguished)

@@ -1,0 +1,89 @@
+"""The hybrid replica control algorithm (static + dynamic voting).
+
+The hybrid algorithm acts exactly like dynamic-linear except around
+three-site updates:
+
+* when exactly three sites perform an update, the distinguished-sites entry
+  becomes the *list* of those three sites, switching the protocol into a
+  **static phase** in which the potential distinguished partitions are fixed
+  to the pairs (and supersets) of the listed trio;
+* while the cardinality is 3, a partition is distinguished iff it contains
+  two or all three of the listed sites (these need only be in the partition
+  *P*, not among the current copies *I* -- step 5 of ``Is_Distinguished``);
+* a two-site update in the static phase increments only the version number,
+  leaving the cardinality at 3 and the trio unchanged (the ``Do_Update``
+  exception), so the third listed site "retains its vote";
+* a distinguished partition with more than two members re-enters the dynamic
+  phase, reinstalling the partition as the quorum basis.
+
+The payoff (Section VI): the availability of the hybrid algorithm exceeds
+that of dynamic-linear for every reasonable repair/failure ratio, because a
+blocked two-of-three trio can be revived by repairing *either* of two sites,
+where dynamic-linear's single distinguished site leaves only one reviving
+repair.
+"""
+
+from __future__ import annotations
+
+from ..types import SiteId
+from .base import ReplicaControlProtocol
+from .decision import QuorumDecision, Rule
+from .metadata import ReplicaMetadata
+
+__all__ = ["HybridProtocol"]
+
+
+class HybridProtocol(ReplicaControlProtocol):
+    """The hybrid of static voting and dynamic-linear (Section V)."""
+
+    name = "hybrid"
+
+    def _initial_distinguished(self) -> tuple[SiteId, ...]:
+        if self.n_sites == 3:
+            return tuple(sorted(self.sites))
+        if self.n_sites % 2 == 0:
+            return (self.greatest(self.sites),)
+        return ()
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        cardinality = meta.cardinality
+        # Step 3: the dynamic majority rule.
+        if self._dynamic_majority(current, cardinality):
+            return QuorumDecision(
+                True, Rule.DYNAMIC_MAJORITY, max_version, current, cardinality
+            )
+        # Step 4: exact half of the current copies, tie broken by the
+        # distinguished site (only meaningful when the cardinality is even).
+        ties = 2 * len(current) == cardinality
+        if ties and len(meta.distinguished) == 1 and meta.distinguished[0] in current:
+            return QuorumDecision(
+                True, Rule.LINEAR_TIEBREAK, max_version, current, cardinality
+            )
+        # Step 5: the static phase -- two of the three listed sites must be
+        # in the partition (in P, not necessarily in I).
+        if cardinality == 3 and len(meta.distinguished) == 3:
+            listed_present = sum(1 for s in meta.distinguished if s in partition)
+            if listed_present >= 2:
+                return QuorumDecision(
+                    True, Rule.STATIC_TRIO, max_version, current, cardinality
+                )
+        return self._denied(max_version, current, cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> ReplicaMetadata:
+        # Do_Update's exception: a two-site update while the cardinality is 3
+        # stays in the static phase -- only the version number moves.
+        if meta.cardinality == 3 and len(partition) == 2:
+            return meta.bump_version()
+        size = len(partition)
+        distinguished: tuple[SiteId, ...]
+        if size == 3:
+            distinguished = tuple(sorted(partition))
+        elif size % 2 == 0:
+            distinguished = (self.greatest(partition),)
+        else:
+            distinguished = ()
+        return ReplicaMetadata(decision.max_version + 1, size, distinguished)
+
+    def in_static_phase(self, meta: ReplicaMetadata) -> bool:
+        """True iff metadata indicates the static (trio) phase."""
+        return meta.cardinality == 3 and len(meta.distinguished) == 3

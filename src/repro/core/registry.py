@@ -1,0 +1,71 @@
+"""Name-based registry of the protocol family.
+
+The CLI, the benchmark harness, and the comparison utilities all select
+protocols by their short names (``"voting"``, ``"dynamic"``,
+``"dynamic-linear"``, ``"hybrid"``, ...).  This module maps those names to
+factories taking the site list.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..errors import ProtocolError
+from ..types import SiteId
+from .base import ReplicaControlProtocol
+from .dynamic_linear import DynamicLinearProtocol
+from .dynamic_voting import DynamicVotingProtocol
+from .hybrid import HybridProtocol
+from .static_voting import (
+    MajorityVotingProtocol,
+    PrimaryCopyProtocol,
+    PrimarySiteVotingProtocol,
+)
+from .variants import ModifiedHybridProtocol, OptimalCandidateProtocol
+
+__all__ = [
+    "PROTOCOLS",
+    "PAPER_PROTOCOLS",
+    "protocol_names",
+    "make_protocol",
+]
+
+ProtocolFactory = Callable[[Sequence[SiteId]], ReplicaControlProtocol]
+
+#: Every protocol in the library, by short name.
+PROTOCOLS: dict[str, ProtocolFactory] = {
+    MajorityVotingProtocol.name: MajorityVotingProtocol,
+    DynamicVotingProtocol.name: DynamicVotingProtocol,
+    DynamicLinearProtocol.name: DynamicLinearProtocol,
+    HybridProtocol.name: HybridProtocol,
+    ModifiedHybridProtocol.name: ModifiedHybridProtocol,
+    OptimalCandidateProtocol.name: OptimalCandidateProtocol,
+    PrimarySiteVotingProtocol.name: PrimarySiteVotingProtocol,
+    PrimaryCopyProtocol.name: PrimaryCopyProtocol,
+}
+
+#: The four algorithms compared throughout the paper's evaluation.
+PAPER_PROTOCOLS: tuple[str, ...] = (
+    MajorityVotingProtocol.name,
+    DynamicVotingProtocol.name,
+    DynamicLinearProtocol.name,
+    HybridProtocol.name,
+)
+
+
+def protocol_names() -> tuple[str, ...]:
+    """All registered protocol names, in registry order."""
+    return tuple(PROTOCOLS)
+
+
+def make_protocol(name: str, sites: Sequence[SiteId]) -> ReplicaControlProtocol:
+    """Instantiate a protocol by short name over ``sites``.
+
+    Raises :class:`ProtocolError` for unknown names, listing the options.
+    """
+    try:
+        factory = PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ProtocolError(f"unknown protocol {name!r}; known: {known}") from None
+    return factory(sites)

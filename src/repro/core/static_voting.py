@@ -1,0 +1,255 @@
+"""Static voting protocols: weighted voting, majority, primary-site variants.
+
+These are the classical *static* baselines (Gifford 1979, Thomas 1979,
+Seguin et al. 1979): the family of potential distinguished partitions is
+fixed in advance by a vote assignment.  A partition is distinguished iff it
+holds more than half of the total votes; the primary-site variant
+additionally breaks exact ties in favour of the partition containing a
+designated primary site, and the primary-copy scheme simply requires the
+primary site to be present.
+
+Version numbers are still maintained (they guarantee fresh reads after a
+partition heals) but play no role in the quorum decision; the update sites
+cardinality is kept pinned at *n* and the distinguished-sites entry empty so
+that metadata stays canonical across the protocol family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import ProtocolError
+from ..types import SiteId
+from .base import ReplicaControlProtocol
+from .decision import QuorumDecision, Rule
+from .metadata import ReplicaMetadata
+
+__all__ = [
+    "WeightedVotingProtocol",
+    "MajorityVotingProtocol",
+    "PrimarySiteVotingProtocol",
+    "PrimaryCopyProtocol",
+]
+
+
+class WeightedVotingProtocol(ReplicaControlProtocol):
+    """Gifford-style static voting with an arbitrary vote assignment.
+
+    A partition is distinguished iff the votes of its members sum to more
+    than half of all votes, which guarantees at most one distinguished
+    partition at a time.
+
+    Gifford's read/write split is supported: pass ``read_threshold`` (votes
+    required to serve a read) and optionally ``write_threshold`` (votes
+    required to commit).  The classical constraints are enforced --
+    ``2 * write_threshold > total`` (two write quorums intersect) and
+    ``read_threshold + write_threshold > total`` (every read sees the
+    latest write).  By default both are the smallest strict majority,
+    which is exactly footnote 5's "reads as updates".
+
+    Parameters
+    ----------
+    sites:
+        All sites holding a copy.
+    votes:
+        Nonnegative vote counts per site.  Omitted sites get one vote.
+        The total must be positive.
+    read_threshold / write_threshold:
+        Optional Gifford quorum sizes in votes.
+    """
+
+    name = "weighted-voting"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        votes: Mapping[SiteId, int] | None = None,
+        order: Sequence[SiteId] | None = None,
+        read_threshold: int | None = None,
+        write_threshold: int | None = None,
+    ) -> None:
+        super().__init__(sites, order)
+        assignment = dict.fromkeys(self.sites, 1)
+        if votes is not None:
+            strangers = set(votes) - self.sites
+            if strangers:
+                raise ProtocolError(
+                    f"votes assigned to sites without a copy: {sorted(strangers)}"
+                )
+            for site, count in votes.items():
+                if count < 0:
+                    raise ProtocolError(f"negative vote count for {site}: {count}")
+                assignment[site] = count
+        self._votes = assignment
+        self._total_votes = sum(assignment.values())
+        if self._total_votes <= 0:
+            raise ProtocolError("total vote count must be positive")
+        majority = self._total_votes // 2 + 1
+        self._write_threshold = (
+            write_threshold if write_threshold is not None else majority
+        )
+        self._read_threshold = (
+            read_threshold if read_threshold is not None else majority
+        )
+        if 2 * self._write_threshold <= self._total_votes:
+            raise ProtocolError(
+                f"write threshold {self._write_threshold} does not guarantee "
+                f"intersecting write quorums (total votes {self._total_votes})"
+            )
+        if self._read_threshold + self._write_threshold <= self._total_votes:
+            raise ProtocolError(
+                f"r + w must exceed the total votes: "
+                f"{self._read_threshold} + {self._write_threshold} "
+                f"<= {self._total_votes}"
+            )
+        if self._read_threshold < 1:
+            raise ProtocolError("read threshold must be at least one vote")
+
+    @property
+    def votes(self) -> Mapping[SiteId, int]:
+        """The vote assignment (read-only view)."""
+        return dict(self._votes)
+
+    @property
+    def total_votes(self) -> int:
+        """Sum of all votes."""
+        return self._total_votes
+
+    @property
+    def write_threshold(self) -> int:
+        """Votes required to commit an update (w)."""
+        return self._write_threshold
+
+    @property
+    def read_threshold(self) -> int:
+        """Votes required to serve a read (r)."""
+        return self._read_threshold
+
+    def partition_votes(self, partition: frozenset[SiteId]) -> int:
+        """Votes held by the members of a partition."""
+        return sum(self._votes[s] for s in partition)
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        held = self.partition_votes(partition)
+        if held >= self._write_threshold:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def read_decision(self, partition, copies) -> QuorumDecision:
+        """Gifford read quorum: ``read_threshold`` votes suffice.
+
+        Because ``r + w > total``, any read quorum intersects every write
+        quorum, so the newest version in the partition is the newest
+        committed version.
+        """
+        members = self._check_partition(frozenset(partition))
+        from .metadata import partition_summary
+
+        max_version, current, meta = partition_summary(copies, members)
+        held = self.partition_votes(members)
+        if held >= self._read_threshold:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> ReplicaMetadata:
+        return ReplicaMetadata(decision.max_version + 1, self.n_sites, ())
+
+
+class MajorityVotingProtocol(WeightedVotingProtocol):
+    """Simple majority voting: one vote per site.
+
+    This is "voting in its simplest form" (Section III): the distinguished
+    partition is the partition, if any, containing more than half the sites.
+    """
+
+    name = "voting"
+
+    def __init__(
+        self, sites: Sequence[SiteId], order: Sequence[SiteId] | None = None
+    ) -> None:
+        super().__init__(sites, votes=None, order=order)
+
+
+class PrimarySiteVotingProtocol(WeightedVotingProtocol):
+    """Majority voting with a primary site breaking exact ties.
+
+    With an even number of sites, a partition holding exactly half the sites
+    is distinguished iff it contains the primary site.  (Equivalent to giving
+    the primary site an extra half vote.)  This is the "voting with a primary
+    site" baseline of the authors' earlier comparisons [22], [24].
+    """
+
+    name = "primary-site-voting"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        primary: SiteId | None = None,
+        order: Sequence[SiteId] | None = None,
+    ) -> None:
+        super().__init__(sites, votes=None, order=order)
+        if primary is None:
+            primary = self.greatest(self.sites)
+        if primary not in self.sites:
+            raise ProtocolError(f"primary site {primary!r} holds no copy")
+        self._primary = primary
+
+    @property
+    def primary(self) -> SiteId:
+        """The tie-breaking primary site."""
+        return self._primary
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        held = len(partition)
+        if 2 * held > self.n_sites:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        if 2 * held == self.n_sites and self._primary in partition:
+            return QuorumDecision(
+                True, Rule.PRIMARY_TIEBREAK, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+
+class PrimaryCopyProtocol(ReplicaControlProtocol):
+    """Primary-copy replica control: only the primary's partition may update.
+
+    The distinguished partition is whichever partition contains the primary
+    site, regardless of its size.  Included as the classical low-availability
+    baseline against which voting schemes are traditionally motivated.
+    """
+
+    name = "primary-copy"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        primary: SiteId | None = None,
+        order: Sequence[SiteId] | None = None,
+    ) -> None:
+        super().__init__(sites, order)
+        if primary is None:
+            primary = self.greatest(self.sites)
+        if primary not in self.sites:
+            raise ProtocolError(f"primary site {primary!r} holds no copy")
+        self._primary = primary
+
+    @property
+    def primary(self) -> SiteId:
+        """The site whose presence makes a partition distinguished."""
+        return self._primary
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        if self._primary in partition:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.cardinality
+            )
+        return self._denied(max_version, current, meta.cardinality)
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> ReplicaMetadata:
+        return ReplicaMetadata(decision.max_version + 1, self.n_sites, ())

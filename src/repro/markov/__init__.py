@@ -1,0 +1,91 @@
+"""Stochastic availability analysis (Section VI).
+
+* :class:`ChainSpec` / :class:`Arc` -- CTMCs with (lambda, mu)-linear rates
+  and numeric / exact / symbolic steady states.
+* :mod:`repro.markov.chains` -- the hand-built chain per protocol,
+  including the paper's Fig. 2 hybrid chain.
+* :func:`derive_chain` -- exact chains derived automatically from the
+  protocol implementations (the validation harness).
+* :func:`availability` and friends -- the unified availability API.
+"""
+
+from .availability import (
+    ANALYTIC_PROTOCOLS,
+    availability,
+    availability_exact,
+    availability_symbolic,
+    normalized_availability,
+    up_probability,
+)
+from .builder import (
+    Configuration,
+    derive_chain,
+    verify_stale_partitions_blocked,
+)
+from .chains import (
+    CHAIN_BUILDERS,
+    chain_for,
+    dynamic_chain,
+    dynamic_linear_chain,
+    hybrid_chain,
+    optimal_candidate_chain,
+    primary_copy_availability,
+    primary_site_voting_availability,
+    primary_site_voting_chain,
+    state_tuple,
+    voting_availability,
+    voting_chain,
+)
+from .ctmc import Arc, ChainSpec
+from .lumping import (
+    dynamic_linear_signature,
+    dynamic_signature,
+    hybrid_signature,
+    lump_chain,
+    voting_signature,
+)
+from .transient import (
+    expected_blocked_fraction,
+    mean_time_to_blocking,
+    transient_availability,
+)
+from .heterogeneous import (
+    heterogeneous_availability,
+    heterogeneous_steady_state,
+)
+
+__all__ = [
+    "Arc",
+    "ChainSpec",
+    "hybrid_chain",
+    "dynamic_chain",
+    "dynamic_linear_chain",
+    "optimal_candidate_chain",
+    "voting_chain",
+    "primary_site_voting_chain",
+    "voting_availability",
+    "primary_site_voting_availability",
+    "primary_copy_availability",
+    "state_tuple",
+    "CHAIN_BUILDERS",
+    "chain_for",
+    "derive_chain",
+    "verify_stale_partitions_blocked",
+    "Configuration",
+    "availability",
+    "heterogeneous_availability",
+    "transient_availability",
+    "lump_chain",
+    "hybrid_signature",
+    "dynamic_signature",
+    "dynamic_linear_signature",
+    "voting_signature",
+    "mean_time_to_blocking",
+    "expected_blocked_fraction",
+    "heterogeneous_steady_state",
+    "availability_exact",
+    "availability_symbolic",
+    "normalized_availability",
+    "up_probability",
+    "ANALYTIC_PROTOCOLS",
+]

@@ -1,0 +1,146 @@
+"""Unified availability API over all protocols (Section VI-C measures).
+
+Dispatches each protocol name to its analytic machinery -- a closed
+binomial form for the static protocols, the hand-built Markov chain for the
+dynamic family -- and exposes the three precision levels (float, exact
+rational, symbolic rational function) plus the normalised measure used in
+Figs. 3 and 4: availability divided by ``p = r/(1+r)``, the probability an
+arbitrary site is up, which upper-bounds every algorithm under the site
+measure.
+"""
+
+from __future__ import annotations
+
+import functools
+from fractions import Fraction
+
+from ..errors import AnalysisError
+from ..ratfunc import Polynomial, RationalFunction
+from .chains import (
+    CHAIN_BUILDERS,
+    chain_for,
+    primary_copy_availability,
+    primary_site_voting_availability,
+    voting_availability,
+)
+from .ctmc import ChainSpec
+
+__all__ = [
+    "availability",
+    "availability_exact",
+    "availability_symbolic",
+    "normalized_availability",
+    "up_probability",
+    "ANALYTIC_PROTOCOLS",
+]
+
+#: Protocols with an analytic availability in this module.
+ANALYTIC_PROTOCOLS: tuple[str, ...] = (
+    "voting",
+    "primary-site-voting",
+    "primary-copy",
+    "dynamic",
+    "dynamic-linear",
+    "hybrid",
+    "modified-hybrid",
+    "optimal-candidate",
+)
+
+_CLOSED_FORMS = {
+    "voting": voting_availability,
+    "primary-site-voting": primary_site_voting_availability,
+    "primary-copy": primary_copy_availability,
+}
+
+
+@functools.lru_cache(maxsize=256)
+def _chain(protocol_name: str, n: int) -> ChainSpec:
+    return chain_for(protocol_name, n)
+
+
+def _check(protocol_name: str) -> None:
+    if protocol_name not in ANALYTIC_PROTOCOLS:
+        known = ", ".join(ANALYTIC_PROTOCOLS)
+        raise AnalysisError(
+            f"no analytic availability for {protocol_name!r}; known: {known}"
+        )
+
+
+def up_probability(ratio: float | Fraction):
+    """P(an arbitrary site is up) = r / (1 + r); exact for Fractions."""
+    if isinstance(ratio, Fraction):
+        return ratio / (1 + ratio)
+    return ratio / (1.0 + ratio)
+
+
+def availability(protocol_name: str, n: int, ratio: float) -> float:
+    """Site availability (float) of a protocol at ``n`` sites, ratio ``r``."""
+    _check(protocol_name)
+    if protocol_name in _CLOSED_FORMS:
+        return float(_CLOSED_FORMS[protocol_name](n, Fraction(ratio).limit_denominator(10**9)))
+    return _chain(protocol_name, n).availability(ratio)
+
+
+def availability_exact(protocol_name: str, n: int, ratio: Fraction) -> Fraction:
+    """Site availability at a rational ratio, with exact arithmetic."""
+    _check(protocol_name)
+    ratio = Fraction(ratio)
+    if protocol_name in _CLOSED_FORMS:
+        return _CLOSED_FORMS[protocol_name](n, ratio)
+    return _chain(protocol_name, n).availability_exact(ratio)
+
+
+@functools.lru_cache(maxsize=64)
+def availability_symbolic(protocol_name: str, n: int) -> RationalFunction:
+    """Site availability as an exact rational function of ``r = mu/lambda``.
+
+    For the chain-based protocols this is the Maple-style symbolic solve;
+    for the static closed forms the binomial sum is assembled directly
+    (with ``p = r/(1+r)`` substituted, the result is rational in *r*).
+    """
+    _check(protocol_name)
+    if protocol_name in _CLOSED_FORMS:
+        return _closed_form_symbolic(protocol_name, n)
+    return _chain(protocol_name, n).availability_symbolic()
+
+
+def _closed_form_symbolic(protocol_name: str, n: int) -> RationalFunction:
+    """Assemble the static availabilities as rational functions of r."""
+    import math
+
+    r = Polynomial.linear(0, 1)
+    one = Polynomial.constant(1)
+    # p = r / (1 + r); a term p^k q^(n-k) = r^k / (1+r)^n.
+    denominator = (one + r) ** n
+    numerator = Polynomial()
+    if protocol_name == "voting":
+        for k in range(n // 2 + 1, n + 1):
+            numerator = numerator + Polynomial.constant(
+                Fraction(k, n) * math.comb(n, k)
+            ) * r**k
+    elif protocol_name == "primary-site-voting":
+        for k in range(n // 2 + 1, n + 1):
+            numerator = numerator + Polynomial.constant(
+                Fraction(k, n) * math.comb(n, k)
+            ) * r**k
+        if n % 2 == 0:
+            k = n // 2
+            numerator = numerator + Polynomial.constant(
+                Fraction(k, n) * math.comb(n - 1, k - 1)
+            ) * r**k
+    elif protocol_name == "primary-copy":
+        # p(1 + (n-1)p)/n = r(1 + n r) / (n (1+r)^2) with p = r/(1+r).
+        numerator = r * (one + Polynomial.constant(n) * r)
+        denominator = Polynomial.constant(n) * (one + r) ** 2
+        return RationalFunction(numerator, denominator)
+    else:  # pragma: no cover - guarded by caller
+        raise AnalysisError(f"no symbolic closed form for {protocol_name!r}")
+    return RationalFunction(numerator, denominator)
+
+
+def normalized_availability(protocol_name: str, n: int, ratio: float) -> float:
+    """Availability divided by P(site up) -- the y-axis of Figs. 3 and 4."""
+    p = up_probability(float(ratio))
+    if p == 0:
+        raise AnalysisError("normalised availability undefined at ratio 0")
+    return availability(protocol_name, n, ratio) / p

@@ -1,0 +1,206 @@
+"""Automatic derivation of a protocol's Markov chain from its code.
+
+The hand-built chains in :mod:`repro.markov.chains` encode the authors'
+reasoning about how each protocol behaves under the stochastic model.  This
+module removes the trust step: it *executes* the actual protocol
+implementation against every reachable configuration of the Section VI
+model and assembles the resulting exact Markov chain.
+
+A configuration is ``(up, current, metadata)`` -- which sites are up,
+which sites hold the current version, and the metadata those copies share
+(any hashable metadata type with a ``version`` and ``with_version``, so
+vote-ledger protocols derive chains through the same machinery).  Under the frequent-update assumption this is a complete
+state description: stale copies can never influence a decision (a partition
+whose freshest copy is stale is never distinguished -- the paper's Theorem
+1 invariant, verified exhaustively by
+:func:`verify_stale_partitions_blocked`), so their metadata is irrelevant.
+
+Every site fails at rate lambda and is repaired at rate mu, so each
+failure/repair of a specific site is an arc with multiplicity one; arcs
+between the same configuration pair merge by summation.  The derived chain
+is *site-labelled* (no symmetry lumping), hence exact; for the paper's
+protocols it collapses to the hand-built chains' availability, which is
+what the validation tests assert.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from collections.abc import Iterable
+
+from ..core.base import ReplicaControlProtocol
+from ..core.decision import UpdateContext
+from ..core.metadata import ReplicaMetadata
+from ..errors import ChainError
+from ..types import SiteId
+from .ctmc import Arc, ChainSpec
+
+__all__ = ["Configuration", "derive_chain", "verify_stale_partitions_blocked"]
+
+#: A concrete model state: (up sites, current sites, shared metadata
+#: normalised to version 1).
+Configuration = tuple[frozenset[SiteId], frozenset[SiteId], object]
+
+#: Stale copies only contribute their (lower) version to any decision, so
+#: their metadata shape is irrelevant; version 0 against the current 1.
+_STALE_VERSION = 0
+_CURRENT_VERSION = 1
+
+
+def _initial_configuration(protocol: ReplicaControlProtocol) -> Configuration:
+    meta = protocol.initial_metadata().with_version(_CURRENT_VERSION)
+    sites = frozenset(protocol.sites)
+    return (sites, sites, meta)
+
+
+def _copies_for(
+    protocol: ReplicaControlProtocol, config: Configuration
+) -> dict[SiteId, ReplicaMetadata]:
+    up, current, meta = config
+    stale_meta = protocol.stale_placeholder()
+    return {
+        site: (meta if site in current else stale_meta)
+        for site in protocol.sites
+    }
+
+
+def _successor(
+    protocol: ReplicaControlProtocol,
+    config: Configuration,
+    new_up: frozenset[SiteId],
+    recent_failure: SiteId | None,
+) -> Configuration:
+    """Apply the frequent-update normalisation after an up-set change."""
+    _, current, meta = config
+    if not new_up or not (new_up & current):
+        # No functioning site holds the current version: the freshest copy
+        # in the partition is stale and the attempt is necessarily denied
+        # (see verify_stale_partitions_blocked).
+        return (new_up, current, meta)
+    copies = _copies_for(protocol, (new_up, current, meta))
+    outcome = protocol.attempt_update(
+        new_up, copies, UpdateContext(recent_failure=recent_failure)
+    )
+    if not outcome.accepted:
+        return (new_up, current, meta)
+    assert outcome.metadata is not None
+    return (new_up, new_up, outcome.metadata.with_version(_CURRENT_VERSION))
+
+
+def derive_chain(
+    protocol: ReplicaControlProtocol, max_states: int = 50_000
+) -> ChainSpec:
+    """Breadth-first exploration of the model's reachable configurations.
+
+    Returns an exact (site-labelled) :class:`ChainSpec` whose availability
+    must agree with the protocol's hand-built lumped chain.
+    """
+    initial = _initial_configuration(protocol)
+    sites = sorted(protocol.sites)
+    seen: set[Configuration] = {initial}
+    frontier: list[Configuration] = [initial]
+    arcs: list[Arc] = []
+    while frontier:
+        config = frontier.pop()
+        up = config[0]
+        for site in sites:
+            if site in up:
+                new_up = up - {site}
+                successor = _successor(protocol, config, new_up, site)
+                arcs.append(Arc(config, successor, failures=1))
+            else:
+                new_up = up | {site}
+                successor = _successor(protocol, config, new_up, None)
+                arcs.append(Arc(config, successor, repairs=1))
+            if successor not in seen:
+                seen.add(successor)
+                if len(seen) > max_states:
+                    raise ChainError(
+                        f"derived chain for {protocol.name} exceeds "
+                        f"{max_states} states; raise max_states if intended"
+                    )
+                frontier.append(successor)
+    n = protocol.n_sites
+    weights = {
+        config: Fraction(len(config[0]), n)
+        for config in seen
+        if config[0] and config[0] == config[1]
+    }
+    return ChainSpec(
+        f"derived:{protocol.name}[n={n}]", tuple(seen), arcs, weights
+    )
+
+
+def verify_stale_partitions_blocked(
+    protocol: ReplicaControlProtocol,
+    max_states: int = 50_000,
+) -> None:
+    """Check the Theorem 1 invariant the builder relies on, exhaustively.
+
+    For every *accepted* transition reachable in the model -- an update
+    from version M (current set ``cur1`` with metadata ``(card1, ds1)``)
+    to version M+1 (committed by the new up set) -- the sites left behind
+    at version M are ``L = cur1 - up2`` and they keep the version-M
+    metadata.  The Theorem 1 argument demands that no future partition
+    whose freshest copy is version M can be distinguished; such a
+    partition is any ``S | T`` with nonempty ``S`` a subset of *L* (the
+    version-M copies) and ``T`` a subset of the even-staler sites.  We
+    enumerate all of them and assert denial.
+
+    Raises ``AssertionError`` on a violation.
+    """
+    import itertools
+
+    initial = _initial_configuration(protocol)
+    seen: set[Configuration] = {initial}
+    frontier: list[Configuration] = [initial]
+    sites = sorted(protocol.sites)
+    while frontier:
+        config = frontier.pop()
+        up = config[0]
+        for site in sites:
+            if site in up:
+                new_up = up - {site}
+                successor = _successor(protocol, config, new_up, site)
+            else:
+                new_up = up | {site}
+                successor = _successor(protocol, config, new_up, None)
+            accepted = successor[1] == new_up and bool(new_up)
+            if accepted:
+                _check_leftovers(protocol, config, successor)
+            if successor not in seen:
+                seen.add(successor)
+                if len(seen) > max_states:
+                    raise AssertionError("state space larger than max_states")
+                frontier.append(successor)
+
+
+def _check_leftovers(
+    protocol: ReplicaControlProtocol,
+    before: Configuration,
+    after: Configuration,
+) -> None:
+    """No subset of the version-M leftovers (plus older sites) may win."""
+    import itertools
+
+    _, cur1, meta1 = before
+    up2 = after[0]
+    leftovers = cur1 - up2
+    if not leftovers:
+        return
+    older = frozenset(protocol.sites) - up2 - leftovers
+    version_m_meta = meta1.with_version(1)
+    older_meta = protocol.stale_placeholder()
+    copies = {site: version_m_meta for site in leftovers}
+    copies.update({site: older_meta for site in older})
+    for s_size in range(1, len(leftovers) + 1):
+        for s_combo in itertools.combinations(sorted(leftovers), s_size):
+            for t_size in range(len(older) + 1):
+                for t_combo in itertools.combinations(sorted(older), t_size):
+                    partition = frozenset(s_combo) | frozenset(t_combo)
+                    decision = protocol.is_distinguished(partition, copies)
+                    assert not decision.granted, (
+                        f"{protocol.name}: partition {sorted(partition)} of "
+                        f"version-M leftovers {s_combo} plus stale {t_combo} "
+                        f"granted after the update {before} -> {after}"
+                    )

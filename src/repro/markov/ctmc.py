@@ -1,0 +1,257 @@
+"""Continuous-time Markov chains with (lambda, mu)-linear rates.
+
+Every chain in Section VI has transition rates of the form
+``a*lambda + b*mu`` with small nonnegative integers *a* and *b* (the number
+of sites whose failure/repair triggers the move).  :class:`ChainSpec`
+captures exactly that structure, which buys three solution modes from one
+description:
+
+* **numeric** -- float steady state via numpy (fast; used for curves);
+* **exact**   -- ``Fraction`` steady state at a rational ratio ``r=mu/lambda``
+  (the paper's "computed exactly using rational arithmetic");
+* **symbolic** -- steady state as :class:`RationalFunction` of *r* via
+  fraction-free elimination (the paper's Maple ``solve``).
+
+The *availability* of a chain is ``sum_s w(s) * pi(s)`` for per-state
+weights *w* -- ``k/n`` for the available states with *k* sites up, zero
+otherwise (the paper's site measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from collections.abc import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import ChainError
+from ..ratfunc import Polynomial, RationalFunction, bareiss_solve, fraction_solve
+
+__all__ = ["Arc", "ChainSpec"]
+
+State = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """One transition: rate = ``failures * lambda + repairs * mu``."""
+
+    source: State
+    target: State
+    failures: int = 0
+    repairs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failures < 0 or self.repairs < 0:
+            raise ChainError(f"negative rate multiplicity in {self!r}")
+        if self.failures == 0 and self.repairs == 0:
+            raise ChainError(f"zero-rate arc {self.source!r} -> {self.target!r}")
+        if self.source == self.target:
+            raise ChainError(f"self-loop at {self.source!r}")
+
+
+class ChainSpec:
+    """A validated CTMC over named states with linear (lambda, mu) rates.
+
+    Arcs sharing (source, target) are merged by summing multiplicities.
+    ``weights`` maps each state to its availability weight (a
+    :class:`Fraction`); missing states weigh zero.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        arcs: Iterable[Arc],
+        weights: Mapping[State, Fraction],
+    ) -> None:
+        self.name = name
+        self._states = tuple(states)
+        if len(set(self._states)) != len(self._states):
+            raise ChainError(f"duplicate states in chain {name!r}")
+        if not self._states:
+            raise ChainError(f"chain {name!r} has no states")
+        index = {state: i for i, state in enumerate(self._states)}
+        merged: dict[tuple[int, int], list[int]] = {}
+        for arc in arcs:
+            if arc.source not in index or arc.target not in index:
+                raise ChainError(
+                    f"arc {arc.source!r} -> {arc.target!r} references unknown states"
+                )
+            key = (index[arc.source], index[arc.target])
+            entry = merged.setdefault(key, [0, 0])
+            entry[0] += arc.failures
+            entry[1] += arc.repairs
+        self._arcs: dict[tuple[int, int], tuple[int, int]] = {
+            key: (f, r) for key, (f, r) in merged.items()
+        }
+        self._index = index
+        self._weights = {
+            state: Fraction(weights.get(state, 0)) for state in self._states
+        }
+        for state, weight in self._weights.items():
+            if weight < 0 or weight > 1:
+                raise ChainError(f"weight for {state!r} out of [0, 1]: {weight}")
+        self._check_connected()
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """All states, in declaration order."""
+        return self._states
+
+    @property
+    def size(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    def arcs(self) -> tuple[Arc, ...]:
+        """The merged arcs."""
+        inverse = {i: s for s, i in self._index.items()}
+        return tuple(
+            Arc(inverse[i], inverse[j], f, r)
+            for (i, j), (f, r) in sorted(self._arcs.items())
+        )
+
+    def weight(self, state: State) -> Fraction:
+        """Availability weight of a state."""
+        return self._weights[state]
+
+    def rate(self, source: State, target: State) -> tuple[int, int]:
+        """(failures, repairs) multiplicities of an arc; (0, 0) if absent."""
+        key = (self._index[source], self._index[target])
+        return self._arcs.get(key, (0, 0))
+
+    def _check_connected(self) -> None:
+        """Verify the digraph is strongly connected (irreducible chain).
+
+        Irreducibility guarantees a unique steady state; the chains of the
+        paper are all irreducible for mu > 0.
+        """
+        size = len(self._states)
+        forward: dict[int, set[int]] = {i: set() for i in range(size)}
+        backward: dict[int, set[int]] = {i: set() for i in range(size)}
+        for (i, j) in self._arcs:
+            forward[i].add(j)
+            backward[j].add(i)
+        for adjacency in (forward, backward):
+            seen = {0}
+            frontier = [0]
+            while frontier:
+                node = frontier.pop()
+                for nxt in adjacency[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            if len(seen) != size:
+                missing = [s for s, i in self._index.items() if i not in seen]
+                raise ChainError(
+                    f"chain {self.name!r} is not irreducible; unreachable "
+                    f"states (one direction): {missing[:5]}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Numeric solution
+    # ------------------------------------------------------------------ #
+
+    def generator_matrix(self, lam: float, mu: float) -> np.ndarray:
+        """The generator Q (rows sum to zero) at concrete rates."""
+        size = len(self._states)
+        q = np.zeros((size, size))
+        for (i, j), (f, r) in self._arcs.items():
+            q[i, j] = f * lam + r * mu
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return q
+
+    def steady_state(self, ratio: float, lam: float = 1.0) -> dict[State, float]:
+        """Stationary distribution at ``mu = ratio * lam`` (floats)."""
+        if ratio <= 0:
+            raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+        q = self.generator_matrix(lam, ratio * lam)
+        size = q.shape[0]
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(size)
+        b[-1] = 1.0
+        pi = np.linalg.solve(a, b)
+        return dict(zip(self._states, pi))
+
+    def availability(self, ratio: float) -> float:
+        """Site availability ``sum w(s) pi(s)`` at a float ratio."""
+        pi = self.steady_state(ratio)
+        return float(
+            sum(float(self._weights[s]) * p for s, p in pi.items())
+        )
+
+    # ------------------------------------------------------------------ #
+    # Exact solution at a rational ratio
+    # ------------------------------------------------------------------ #
+
+    def steady_state_exact(self, ratio: Fraction) -> dict[State, Fraction]:
+        """Stationary distribution at a rational ratio, exactly."""
+        ratio = Fraction(ratio)
+        if ratio <= 0:
+            raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+        size = len(self._states)
+        a = [[Fraction(0)] * size for _ in range(size)]
+        for (i, j), (f, r) in self._arcs.items():
+            rate = Fraction(f) + Fraction(r) * ratio
+            a[j][i] += rate       # transposed: column balance equations
+            a[i][i] -= rate
+        for j in range(size):
+            a[size - 1][j] = Fraction(1)
+        b = [Fraction(0)] * size
+        b[-1] = Fraction(1)
+        pi = fraction_solve(a, b)
+        return dict(zip(self._states, pi))
+
+    def availability_exact(self, ratio: Fraction) -> Fraction:
+        """Site availability at a rational ratio, exactly."""
+        pi = self.steady_state_exact(Fraction(ratio))
+        return sum(
+            (self._weights[s] * p for s, p in pi.items()), start=Fraction(0)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Symbolic solution
+    # ------------------------------------------------------------------ #
+
+    def steady_state_symbolic(self) -> dict[State, RationalFunction]:
+        """Stationary distribution as rational functions of r = mu/lambda.
+
+        The balance equations are assembled with lambda = 1 and mu = r
+        (availability depends on the rates only through their ratio) and
+        solved by fraction-free elimination.
+        """
+        size = len(self._states)
+        zero = Polynomial()
+        a = [[zero] * size for _ in range(size)]
+        for (i, j), (f, r) in self._arcs.items():
+            rate = Polynomial.linear(f, r)
+            a[j][i] = a[j][i] + rate
+            a[i][i] = a[i][i] - rate
+        ones = Polynomial.constant(1)
+        for j in range(size):
+            a[size - 1][j] = ones
+        b = [zero] * size
+        b[-1] = ones
+        pi = bareiss_solve(a, b)
+        return dict(zip(self._states, pi))
+
+    def availability_symbolic(self) -> RationalFunction:
+        """Site availability as an exact rational function of r."""
+        pi = self.steady_state_symbolic()
+        total = RationalFunction(Polynomial())
+        for state, probability in pi.items():
+            weight = self._weights[state]
+            if weight:
+                total = total + probability * RationalFunction.constant(weight)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChainSpec {self.name!r}: {self.size} states, {len(self._arcs)} arcs>"

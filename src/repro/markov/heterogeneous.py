@@ -1,0 +1,131 @@
+"""Heterogeneous-rate analysis (the paper's closing challenge).
+
+Section VII ends by asking for the optimal *dynamic* vote assignment "in
+models which lack symmetry in communication links and uniformity in
+repair/failure ratios".  This module supplies the analysis half of that
+challenge for site asymmetry: every protocol's exact Markov chain under
+**per-site** failure and repair rates, derived directly from the protocol
+implementation (the homogeneous lumping of Fig. 2 is no longer sound, so
+the site-labelled exact chain is the right object).
+
+The availability measure generalises unchanged: an update arriving at a
+uniformly random site succeeds iff that site is up inside a distinguished
+partition, so the weight of an available state is ``k/n`` with *k* its up
+count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..core.base import ReplicaControlProtocol
+from ..core.decision import UpdateContext
+from ..errors import ChainError
+from ..types import SiteId
+from .builder import Configuration, _initial_configuration, _successor
+
+__all__ = ["heterogeneous_availability", "heterogeneous_steady_state"]
+
+
+def _validate_rates(
+    protocol: ReplicaControlProtocol,
+    failure_rates: Mapping[SiteId, float],
+    repair_rates: Mapping[SiteId, float],
+) -> None:
+    for table, kind in ((failure_rates, "failure"), (repair_rates, "repair")):
+        missing = protocol.sites - set(table)
+        if missing:
+            raise ChainError(f"missing {kind} rates for {sorted(missing)}")
+        for site in protocol.sites:
+            if table[site] <= 0:
+                raise ChainError(
+                    f"{kind} rate for {site} must be positive, got {table[site]}"
+                )
+
+
+def _explore(
+    protocol: ReplicaControlProtocol, max_states: int
+) -> tuple[list[Configuration], dict[tuple[int, int], list[tuple[SiteId, bool]]]]:
+    """BFS over configurations; edges labelled by (site, is_failure)."""
+    initial = _initial_configuration(protocol)
+    index: dict[Configuration, int] = {initial: 0}
+    order: list[Configuration] = [initial]
+    edges: dict[tuple[int, int], list[tuple[SiteId, bool]]] = {}
+    frontier = [initial]
+    sites = sorted(protocol.sites)
+    while frontier:
+        config = frontier.pop()
+        source = index[config]
+        up = config[0]
+        for site in sites:
+            if site in up:
+                successor = _successor(protocol, config, up - {site}, site)
+                is_failure = True
+            else:
+                successor = _successor(protocol, config, up | {site}, None)
+                is_failure = False
+            if successor not in index:
+                if len(index) >= max_states:
+                    raise ChainError(
+                        f"heterogeneous chain for {protocol.name} exceeds "
+                        f"{max_states} states"
+                    )
+                index[successor] = len(order)
+                order.append(successor)
+                frontier.append(successor)
+            edges.setdefault((source, index[successor]), []).append(
+                (site, is_failure)
+            )
+    return order, edges
+
+
+def heterogeneous_steady_state(
+    protocol: ReplicaControlProtocol,
+    failure_rates: Mapping[SiteId, float],
+    repair_rates: Mapping[SiteId, float],
+    max_states: int = 50_000,
+) -> dict[Configuration, float]:
+    """Exact (site-labelled) stationary distribution under per-site rates."""
+    _validate_rates(protocol, failure_rates, repair_rates)
+    order, edges = _explore(protocol, max_states)
+    size = len(order)
+    q = np.zeros((size, size))
+    for (i, j), labels in edges.items():
+        rate = sum(
+            failure_rates[site] if is_failure else repair_rates[site]
+            for site, is_failure in labels
+        )
+        q[i, j] += rate
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    a = q.T.copy()
+    a[-1, :] = 1.0
+    b = np.zeros(size)
+    b[-1] = 1.0
+    pi = np.linalg.solve(a, b)
+    return dict(zip(order, pi))
+
+
+def heterogeneous_availability(
+    protocol: ReplicaControlProtocol,
+    failure_rates: Mapping[SiteId, float],
+    repair_rates: Mapping[SiteId, float],
+    max_states: int = 50_000,
+) -> float:
+    """Site availability under per-site Poisson rates, exactly (float LA).
+
+    Reduces to :func:`repro.markov.availability` when all rates agree
+    (validated in the tests).
+    """
+    pi = heterogeneous_steady_state(
+        protocol, failure_rates, repair_rates, max_states
+    )
+    n = protocol.n_sites
+    total = 0.0
+    for config, probability in pi.items():
+        up, current = config[0], config[1]
+        if up and up == current:
+            total += probability * len(up) / n
+    return total

@@ -1,0 +1,165 @@
+"""Exact lumping of derived chains onto the paper's Fig. 2-style diagrams.
+
+The hand-built chains of Section VI aggregate site-labelled states by the
+paper's (X, Y, Z) coordinates.  That aggregation is only sound if the
+partition is *strongly lumpable*: every state of a block must have the
+same total transition rate into each other block.  :func:`lump_chain`
+performs the aggregation and verifies strong lumpability **exactly**
+(rates here are integer multiples of lambda and mu, so the check is
+integer equality, not a numeric tolerance) -- turning "the derived chain
+has the same availability as Fig. 2" into the stronger statement "the
+derived chain *is* Fig. 2, up to the lumping map".
+
+:func:`hybrid_signature` (and kin) provide the coordinate maps from the
+builder's ``(up, current, metadata)`` configurations to the paper's state
+labels.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from collections.abc import Callable, Hashable
+
+from ..core.metadata import ReplicaMetadata
+from ..errors import ChainError
+from .builder import Configuration
+from .ctmc import Arc, ChainSpec
+
+__all__ = [
+    "lump_chain",
+    "hybrid_signature",
+    "dynamic_signature",
+    "dynamic_linear_signature",
+    "voting_signature",
+]
+
+
+def lump_chain(
+    spec: ChainSpec,
+    signature: Callable[[Hashable], Hashable],
+    name: str | None = None,
+) -> ChainSpec:
+    """Aggregate ``spec``'s states by ``signature``, verifying lumpability.
+
+    Raises :class:`ChainError` if two states of one block disagree on the
+    rate into any other block (the partition is not strongly lumpable) or
+    on their availability weight.
+    """
+    blocks: dict[Hashable, list[Hashable]] = {}
+    for state in spec.states:
+        blocks.setdefault(signature(state), []).append(state)
+
+    # Per-state aggregated rates into each block.
+    def block_rates(state: Hashable) -> dict[Hashable, tuple[int, int]]:
+        rates: dict[Hashable, list[int]] = {}
+        own_block = signature(state)
+        for target in spec.states:
+            failures, repairs = spec.rate(state, target)
+            if failures == 0 and repairs == 0:
+                continue
+            target_block = signature(target)
+            if target_block == own_block:
+                continue  # internal moves vanish in the lumped chain
+            entry = rates.setdefault(target_block, [0, 0])
+            entry[0] += failures
+            entry[1] += repairs
+        return {k: (f, r) for k, (f, r) in rates.items()}
+
+    lumped_arcs: list[Arc] = []
+    weights: dict[Hashable, Fraction] = {}
+    for label, members in blocks.items():
+        reference = block_rates(members[0])
+        reference_weight = spec.weight(members[0])
+        for other in members[1:]:
+            if block_rates(other) != reference:
+                raise ChainError(
+                    f"not strongly lumpable: states {members[0]!r} and "
+                    f"{other!r} of block {label!r} disagree on outgoing "
+                    "block rates"
+                )
+            if spec.weight(other) != reference_weight:
+                raise ChainError(
+                    f"states of block {label!r} disagree on availability "
+                    "weight"
+                )
+        weights[label] = reference_weight
+        for target_block, (failures, repairs) in reference.items():
+            lumped_arcs.append(
+                Arc(label, target_block, failures=failures, repairs=repairs)
+            )
+    return ChainSpec(
+        name if name is not None else f"lumped:{spec.name}",
+        tuple(blocks),
+        lumped_arcs,
+        weights,
+    )
+
+
+def _meta_of(config: Configuration) -> ReplicaMetadata:
+    meta = config[2]
+    if not isinstance(meta, ReplicaMetadata):
+        raise ChainError(
+            "this signature expects (VN, SC, DS) metadata configurations"
+        )
+    return meta
+
+
+def hybrid_signature(config: Configuration) -> tuple:
+    """Map a derived hybrid configuration to its Fig. 2 label.
+
+    Static phase (SC = 3 with a trio list): ``("A", 2)`` when two trio
+    members are up, ``("B", z)`` / ``("C", z)`` with one / zero.  Dynamic
+    phase: ``("A", k)`` (all *k* current sites up, by the frequent-update
+    normalisation).
+    """
+    up, current, _ = config
+    meta = _meta_of(config)
+    if meta.cardinality == 3 and len(meta.distinguished) == 3:
+        trio = frozenset(meta.distinguished)
+        trio_up = len(up & trio)
+        outsiders = len(up - trio)
+        if trio_up >= 2:
+            # Available: either the post-update 3-of-3 state (A_3) or the
+            # two-of-trio state (A_2); outsiders are absorbed on commit.
+            return ("A", 3) if trio_up == 3 else ("A", 2)
+        return ("B", outsiders) if trio_up == 1 else ("C", outsiders)
+    if up == current:
+        return ("A", len(up))
+    # Blocked dynamic states do not arise for the hybrid (its blocked
+    # states are all trio-phase); reaching here means the signature does
+    # not fit the protocol.
+    raise ChainError(f"unexpected hybrid configuration {config!r}")
+
+
+def dynamic_signature(config: Configuration) -> tuple:
+    """Map a derived dynamic-voting configuration to its chain label."""
+    up, current, _ = config
+    meta = _meta_of(config)
+    if up == current:
+        return ("A", len(up))
+    current_up = len(up & current)
+    outsiders = len(up - current)
+    if meta.cardinality == 2 and current_up in (0, 1):
+        return ("B" if current_up == 1 else "C", outsiders)
+    raise ChainError(f"unexpected dynamic-voting configuration {config!r}")
+
+
+def dynamic_linear_signature(config: Configuration) -> tuple:
+    """Map a derived dynamic-linear configuration to its chain label."""
+    up, current, _ = config
+    meta = _meta_of(config)
+    if up == current:
+        return ("A", len(up))
+    current_up = len(up & current)
+    outsiders = len(up - current)
+    if meta.cardinality == 2:
+        return ("B" if current_up == 1 else "C", outsiders)
+    if meta.cardinality == 1:
+        return ("D", outsiders)
+    raise ChainError(f"unexpected dynamic-linear configuration {config!r}")
+
+
+def voting_signature(config: Configuration) -> tuple:
+    """Map a derived voting configuration to the birth-death label."""
+    up, _, _ = config
+    return ("U", len(up))

@@ -1,0 +1,295 @@
+"""The replicated cluster: nodes, network, failures, and consistency checks.
+
+:class:`ReplicaCluster` wires one :class:`~repro.netsim.node.Node` per site
+to a :class:`~repro.netsim.network.MessageNetwork` over a failing
+:class:`~repro.sim.topology.Topology`, and exposes the operations a test or
+example drives: submit updates/reads, fail and repair sites and links,
+advance simulated time, and audit the resulting histories.
+
+The audit (:meth:`check_consistency`) asserts the one-copy guarantees the
+paper proves in Theorem 1: committed versions form a single linear chain
+(no version is ever produced twice), and every site's history is a
+subsequence of that chain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from ..core.base import ReplicaControlProtocol
+from ..errors import SimulationError
+from ..sim.engine import Simulator
+from ..sim.topology import Topology
+from ..types import SiteId
+from .coordinator import ProtocolRun, RunKind, RunStatus
+from .messages import Message
+from .network import MessageNetwork
+from .node import Node
+from .trace import TraceLog
+
+__all__ = ["ReplicaCluster"]
+
+
+class ReplicaCluster:
+    """A running replicated-file system under one replica control protocol.
+
+    Parameters
+    ----------
+    protocol:
+        Any protocol from :mod:`repro.core`; its site set defines the
+        cluster membership.
+    initial_value:
+        Contents of every copy at time zero.
+    latency:
+        One-way message latency.  The control windows default to multiples
+        of it: voting closes after ``4 * latency``, catch-up waits
+        ``4 * latency``, the local-lock (deadlock) timeout is
+        ``20 * latency`` and in-doubt subordinates probe the coordinator
+        every ``30 * latency``.
+    links:
+        Optional explicit link set (defaults to a complete graph).
+    """
+
+    def __init__(
+        self,
+        protocol: ReplicaControlProtocol,
+        initial_value: Any = None,
+        *,
+        latency: float = 0.01,
+        vote_window: float | None = None,
+        catch_up_window: float | None = None,
+        lock_timeout: float | None = None,
+        termination_timeout: float | None = None,
+        links: Iterable[tuple[SiteId, SiteId]] | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.protocol = protocol
+        self.simulator = Simulator()
+        self.topology = Topology(sorted(protocol.sites), links)
+        self.trace_log: TraceLog | None = TraceLog() if trace else None
+        self.network = MessageNetwork(
+            self.simulator,
+            self.topology,
+            latency,
+            observer=self.trace_log.record if trace else None,
+        )
+        self.vote_window = vote_window if vote_window is not None else 4 * latency
+        self.catch_up_window = (
+            catch_up_window if catch_up_window is not None else 4 * latency
+        )
+        self.lock_timeout = lock_timeout if lock_timeout is not None else 20 * latency
+        self.termination_timeout = (
+            termination_timeout if termination_timeout is not None else 30 * latency
+        )
+        self._nodes: dict[SiteId, Node] = {}
+        for site in sorted(protocol.sites):
+            node = Node(site, self, initial_value)
+            self._nodes[site] = node
+            self.network.register(site, node.receive)
+        self._runs: dict[int, ProtocolRun] = {}
+        self._finished_runs: list[ProtocolRun] = []
+
+    # ------------------------------------------------------------------ #
+    # Topology control
+    # ------------------------------------------------------------------ #
+
+    def node(self, site: SiteId) -> Node:
+        """The node object at a site."""
+        return self._nodes[site]
+
+    def _record(self, category: str, description: str) -> None:
+        if self.trace_log is not None:
+            self.trace_log.record(self.simulator.now, category, description)
+
+    def fail_site(self, site: SiteId) -> None:
+        """Fail a site: volatile state is wiped, its runs die."""
+        self.topology.fail_site(site)
+        self._record("topology", f"site {site} failed")
+        self._nodes[site].on_failure()
+        for run in list(self._runs.values()):
+            if run.site == site and not run.finished:
+                run.on_coordinator_failure()
+                self._runs.pop(run.run_id, None)
+                self._finished_runs.append(run)
+
+    def repair_site(self, site: SiteId, run_restart: bool = True) -> ProtocolRun | None:
+        """Repair a site; by default immediately run Make_Current there."""
+        self.topology.repair_site(site)
+        self._record("topology", f"site {site} repaired")
+        if run_restart:
+            return self.make_current(site)
+        return None
+
+    def fail_link(self, a: SiteId, b: SiteId) -> None:
+        """Fail a communication link."""
+        self.topology.fail_link(a, b)
+        self._record("topology", f"link {a}-{b} failed")
+
+    def repair_link(self, a: SiteId, b: SiteId) -> None:
+        """Repair a communication link."""
+        self.topology.repair_link(a, b)
+        self._record("topology", f"link {a}-{b} repaired")
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def submit_update(self, site: SiteId, value: Any) -> ProtocolRun:
+        """Start an update run coordinated at ``site`` (async)."""
+        return self._submit(ProtocolRun(self, site, RunKind.UPDATE, value))
+
+    def submit_read(self, site: SiteId) -> ProtocolRun:
+        """Start a read run coordinated at ``site`` (async)."""
+        return self._submit(ProtocolRun(self, site, RunKind.READ))
+
+    def make_current(self, site: SiteId) -> ProtocolRun:
+        """Start the Make_Current restart protocol at a recovered site."""
+        return self._submit(ProtocolRun(self, site, RunKind.MAKE_CURRENT))
+
+    def _submit(self, run: ProtocolRun) -> ProtocolRun:
+        self._runs[run.run_id] = run
+        self._record(
+            "run", f"run {run.run_id} [{run.kind.value}] submitted at {run.site}"
+        )
+        self.simulator.schedule(0.0, run.start)
+        return run
+
+    # ------------------------------------------------------------------ #
+    # Engine plumbing
+    # ------------------------------------------------------------------ #
+
+    def deliver_to_coordinator(
+        self, destination: SiteId, sender: SiteId, message: Message
+    ) -> None:
+        """Route replies addressed to a coordinator run.
+
+        A VoteReply for a run that has already terminated is answered
+        immediately with the logged decision: the sender just acquired its
+        lock for a dead run (it was queued behind other work) and would
+        otherwise block in doubt until its first termination-protocol
+        probe.  Presumed abort applies to unlogged runs.
+        """
+        run = self._runs.get(message.run_id)
+        if run is not None and run.site == destination and not run.finished:
+            run.on_reply(sender, message)
+            return
+        from .messages import DecisionReply, VoteReply
+
+        if isinstance(message, VoteReply) and self.topology.is_up(destination):
+            commit = self._nodes[destination].decision_log.get(message.run_id)
+            if commit is not None:
+                reply = DecisionReply(
+                    message.run_id, destination, True, commit.metadata, commit.value
+                )
+            else:
+                reply = DecisionReply(message.run_id, destination, False)
+            self.network.send(destination, sender, reply)
+
+    def is_run_active(self, run_id: int) -> bool:
+        """Whether a run is still deciding (termination protocol support)."""
+        run = self._runs.get(run_id)
+        return run is not None and not run.finished
+
+    def run_finished(self, run: ProtocolRun) -> None:
+        """Callback from a run reaching a terminal status."""
+        self._runs.pop(run.run_id, None)
+        self._finished_runs.append(run)
+        self._record("run", run.describe())
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration``."""
+        if duration < 0:
+            raise SimulationError(f"duration must be nonnegative: {duration}")
+        self.simulator.run(until=self.simulator.now + duration)
+
+    def settle(self, max_rounds: int = 200) -> None:
+        """Advance until all submitted runs reach a terminal status.
+
+        In-doubt subordinates keep probing a dead coordinator forever, so
+        this waits for *runs* (not the event queue) with a round cap.
+        """
+        for _ in range(max_rounds):
+            if not self._runs:
+                return
+            self.run_for(self.termination_timeout)
+        raise SimulationError(
+            f"runs still pending after {max_rounds} rounds: "
+            f"{[r.describe() for r in self._runs.values()]}"
+        )
+
+    @property
+    def finished_runs(self) -> tuple[ProtocolRun, ...]:
+        """All terminal runs, in completion order."""
+        return tuple(self._finished_runs)
+
+    def latency_summary(self) -> dict[str, float]:
+        """Latency statistics over committed runs (empty dict if none).
+
+        Keys: ``count``, ``mean``, ``min``, ``max`` -- in simulated time
+        units, submission to commit.  Healthy commits take one vote round
+        plus one commit round (about ``2-3 x latency`` plus any lock
+        queueing); catch-up adds a round trip.
+        """
+        latencies = [
+            run.latency
+            for run in self._finished_runs
+            if run.status is RunStatus.COMMITTED and run.latency is not None
+        ]
+        if not latencies:
+            return {}
+        return {
+            "count": float(len(latencies)),
+            "mean": sum(latencies) / len(latencies),
+            "min": min(latencies),
+            "max": max(latencies),
+        }
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+    # ------------------------------------------------------------------ #
+    # Auditing
+    # ------------------------------------------------------------------ #
+
+    def committed_versions(self) -> dict[int, tuple[int, Any]]:
+        """Map version -> (run id, value) across all site histories.
+
+        Raises ``AssertionError`` if two sites ever applied different
+        payloads (or different runs) for one version -- a forked history.
+        """
+        seen: dict[int, tuple[int, Any]] = {}
+        for node in self._nodes.values():
+            for applied in node.history:
+                key = applied.version
+                entry = (applied.run_id, applied.value)
+                if key in seen and seen[key] != entry:
+                    raise AssertionError(
+                        f"forked history at version {key}: "
+                        f"{seen[key]!r} vs {entry!r}"
+                    )
+                seen.setdefault(key, entry)
+        return seen
+
+    def check_consistency(self) -> dict[str, int]:
+        """Assert one-copy semantics; return summary counters.
+
+        Checks: no forked versions (two commits of one version); every
+        site's history has strictly increasing versions; the set of
+        committed versions has no duplicates by construction of the two
+        previous checks.
+        """
+        versions = self.committed_versions()
+        for node in self._nodes.values():
+            site_versions = [a.version for a in node.history]
+            assert site_versions == sorted(set(site_versions)), (
+                f"history at {node.site} is not strictly increasing: "
+                f"{site_versions}"
+            )
+        return {
+            "versions_committed": len(versions) - 1,  # excluding version 0
+            "sites": len(self._nodes),
+            "runs_finished": len(self._finished_runs),
+        }

@@ -1,0 +1,99 @@
+"""Per-site lock manager (Section V's LOCK_REQUEST / RELEASE_LOCK).
+
+Each site runs a lock manager guarding its copy of the file.  Requests are
+granted in FIFO order; a holder releases explicitly.  Locks are *volatile*:
+a site failure clears the manager (the copy's metadata is persistent, the
+lock table is not), matching the fail-stop model.
+
+The paper notes the protocol "may cause deadlocks to occur" and defers to
+standard treatments; like most deployed systems we break deadlocks with
+timeouts, which the coordinator layer implements by aborting a run whose
+lock or votes do not arrive in time.  The manager itself also supports a
+waits-for check so tests can observe that the deadlock actually forms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from ..errors import LockError
+from ..types import SiteId
+
+__all__ = ["LockManager"]
+
+
+class LockManager:
+    """FIFO exclusive lock on one site's copy of the file.
+
+    Lock owners are identified by run id (an integer from
+    :func:`repro.netsim.messages.next_run_id`); grant callbacks fire
+    synchronously when the lock becomes available.
+    """
+
+    def __init__(self, site: SiteId) -> None:
+        self._site = site
+        self._holder: int | None = None
+        self._waiters: deque[tuple[int, Callable[[], None]]] = deque()
+
+    @property
+    def site(self) -> SiteId:
+        """The site this manager guards."""
+        return self._site
+
+    @property
+    def holder(self) -> int | None:
+        """Run id currently holding the lock, or None."""
+        return self._holder
+
+    def waiting_runs(self) -> tuple[int, ...]:
+        """Run ids queued for the lock, in grant order."""
+        return tuple(run_id for run_id, _ in self._waiters)
+
+    def request(self, run_id: int, granted: Callable[[], None]) -> None:
+        """Request the lock; ``granted`` fires when (and if) it is acquired.
+
+        Re-entrant requests from the current holder are an error -- the
+        protocol never needs them and they usually signal a bug.
+        """
+        if self._holder == run_id or run_id in self.waiting_runs():
+            raise LockError(
+                f"run {run_id} already holds or awaits the lock at {self._site}"
+            )
+        if self._holder is None:
+            self._holder = run_id
+            granted()
+        else:
+            self._waiters.append((run_id, granted))
+
+    def release(self, run_id: int) -> None:
+        """Release the lock (or withdraw a queued request)."""
+        if self._holder == run_id:
+            self._holder = None
+            self._grant_next()
+            return
+        for index, (queued, _) in enumerate(self._waiters):
+            if queued == run_id:
+                del self._waiters[index]
+                return
+        raise LockError(
+            f"run {run_id} neither holds nor awaits the lock at {self._site}"
+        )
+
+    def release_if_involved(self, run_id: int) -> None:
+        """Release/withdraw without raising when the run is not involved."""
+        try:
+            self.release(run_id)
+        except LockError:
+            pass
+
+    def clear(self) -> None:
+        """Drop all lock state (site failure: the table is volatile)."""
+        self._holder = None
+        self._waiters.clear()
+
+    def _grant_next(self) -> None:
+        if self._waiters and self._holder is None:
+            run_id, granted = self._waiters.popleft()
+            self._holder = run_id
+            granted()

@@ -1,0 +1,114 @@
+"""Protocol messages of Section V.
+
+The three-phase protocol exchanges five message kinds: the vote request
+and its reply (carrying the replica metadata triple), the commit and abort
+decisions, and the catch-up exchange used when the coordinator's copy (or
+a recovering site) is stale.  Every message carries the coordinator's run
+identifier so that late or duplicated deliveries are recognised and
+ignored -- the simulator loses messages whenever a partition or failure
+separates sender and receiver, exactly the situations the paper's
+termination discussion worries about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.metadata import ReplicaMetadata
+from ..types import SiteId
+
+__all__ = [
+    "Message",
+    "VoteRequest",
+    "VoteReply",
+    "CommitMessage",
+    "AbortMessage",
+    "CatchUpRequest",
+    "CatchUpReply",
+    "DecisionRequest",
+    "DecisionReply",
+    "next_run_id",
+]
+
+_run_counter = itertools.count(1)
+
+
+def next_run_id() -> int:
+    """A process-unique identifier for one protocol run."""
+    return next(_run_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message names its run and its sender."""
+
+    run_id: int
+    sender: SiteId
+
+
+@dataclass(frozen=True, slots=True)
+class VoteRequest(Message):
+    """Step ii): the coordinator asks a site for its (VN, SC, DS)."""
+
+
+@dataclass(frozen=True, slots=True)
+class VoteReply(Message):
+    """Step iii): a subordinate reports its metadata (lock held)."""
+
+    metadata: ReplicaMetadata
+
+
+@dataclass(frozen=True, slots=True)
+class CommitMessage(Message):
+    """Step vii): commit the update; carries value and new metadata.
+
+    ``value`` is the full current file contents, so a stale subordinate
+    catching up and a fresh subordinate applying the new update receive the
+    same payload (the paper ships "the missing updates" plus the new
+    update; shipping the resulting state is the classical state-transfer
+    equivalent).
+    """
+
+    metadata: ReplicaMetadata
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class AbortMessage(Message):
+    """Step v): the update is abandoned; subordinates release their locks."""
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUpRequest(Message):
+    """Catch-up phase: a stale coordinator asks a current site for state."""
+
+
+@dataclass(frozen=True, slots=True)
+class CatchUpReply(Message):
+    """Catch-up phase: the current value and its metadata."""
+
+    metadata: ReplicaMetadata
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRequest(Message):
+    """Termination protocol: an in-doubt subordinate asks for the outcome.
+
+    A subordinate that voted (and therefore holds its lock) but has heard
+    neither COMMIT nor ABORT periodically asks the coordinator.  The
+    coordinator answers from its persistent decision log; an unknown run is
+    answered ABORT (presumed abort), which is safe because the coordinator
+    logs COMMIT durably *before* sending any commit message.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionReply(Message):
+    """Termination protocol: the outcome, with commit payload if committed."""
+
+    committed: bool
+    metadata: ReplicaMetadata | None = None
+    value: Any = None

@@ -1,0 +1,163 @@
+"""The message-level cluster under the Section VI failure model.
+
+Everything else in the availability story abstracts the protocol's message
+exchanges away (the model assumes instantaneous updates).  This driver
+closes the last gap: it subjects a full :class:`ReplicaCluster` -- real
+locks, votes, commits, losses, restarts -- to Poisson site failures and
+repairs, and measures availability by Poisson-sampled *probe updates*
+submitted at uniformly random sites.  By PASTA (Poisson arrivals see time
+averages) the success fraction of the probes estimates exactly the paper's
+site availability measure, so the measurement is directly comparable to
+the Markov chains -- provided the time scales separate (message latency
+<< probe spacing << time between failures), which the defaults arrange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..sim.failures import Rates
+from ..sim.rng import RandomStreams
+from .cluster import ReplicaCluster
+from .coordinator import ProtocolRun, RunStatus
+
+__all__ = ["ProbeStatistics", "ClusterModelDriver"]
+
+
+@dataclass
+class ProbeStatistics:
+    """Outcome counts of the probe updates."""
+
+    probes: int = 0
+    committed: int = 0
+    arrived_down: int = 0
+    denied: int = 0
+    other: int = 0
+    runs: list[ProtocolRun] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of probes that committed (the site measure)."""
+        if self.probes == 0:
+            return 0.0
+        return self.committed / self.probes
+
+
+class ClusterModelDriver:
+    """Drive a cluster with Poisson failures/repairs and probe updates.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster under test (its latency should be much smaller than
+        ``1 / probe_rate``).
+    rates:
+        Per-site failure and repair rates (lambda, mu).
+    probe_rate:
+        Rate of the Poisson probe process.  Probes double as the model's
+        "frequent updates": choose ``probe_rate`` well above the total
+        event rate so the metadata adjusts between failures.
+    streams:
+        Master randomness (streams "failures", "repairs", "probes",
+        "arrival" are consumed).
+    """
+
+    def __init__(
+        self,
+        cluster: ReplicaCluster,
+        rates: Rates,
+        probe_rate: float,
+        streams: RandomStreams,
+    ) -> None:
+        if probe_rate <= 0:
+            raise SimulationError(f"probe rate must be positive: {probe_rate}")
+        self._cluster = cluster
+        self._rates = rates
+        self._probe_rate = probe_rate
+        self._event_rng = streams.stream("events")
+        self._probe_rng = streams.stream("probes")
+        self._arrival_rng = streams.stream("arrival")
+        self._sites = sorted(cluster.topology.sites)
+        self.statistics = ProbeStatistics()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Event processes
+    # ------------------------------------------------------------------ #
+
+    def _schedule_next_failure_or_repair(self) -> None:
+        topology = self._cluster.topology
+        up = topology.up_sites()
+        down = set(self._sites) - up
+        total = len(up) * self._rates.failure + len(down) * self._rates.repair
+        if total <= 0:
+            return
+        delay = self._event_rng.expovariate(total)
+
+        def fire() -> None:
+            current_up = topology.up_sites()
+            current_down = set(self._sites) - current_up
+            weight_up = len(current_up) * self._rates.failure
+            weight_total = weight_up + len(current_down) * self._rates.repair
+            if weight_total <= 0:
+                return
+            if self._event_rng.random() * weight_total < weight_up and current_up:
+                victim = sorted(current_up)[
+                    self._event_rng.randrange(len(current_up))
+                ]
+                self._cluster.fail_site(victim)
+            elif current_down:
+                lucky = sorted(current_down)[
+                    self._event_rng.randrange(len(current_down))
+                ]
+                self._cluster.repair_site(lucky)  # runs Make_Current
+            self._schedule_next_failure_or_repair()
+
+        self._cluster.simulator.schedule(delay, fire)
+
+    def _schedule_next_probe(self) -> None:
+        delay = self._probe_rng.expovariate(self._probe_rate)
+
+        def fire() -> None:
+            self.statistics.probes += 1
+            site = self._sites[self._arrival_rng.randrange(len(self._sites))]
+            if not self._cluster.topology.is_up(site):
+                self.statistics.arrived_down += 1
+            else:
+                self._sequence += 1
+                run = self._cluster.submit_update(
+                    site, f"probe-{self._sequence}"
+                )
+                self.statistics.runs.append(run)
+            self._schedule_next_probe()
+
+        self._cluster.simulator.schedule(delay, fire)
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+
+    def run(self, horizon: float) -> ProbeStatistics:
+        """Run the model until the cluster clock reaches ``horizon``.
+
+        Returns the probe statistics; probe runs still pending at the
+        horizon are given a grace period to finish and then tallied.
+        """
+        if horizon <= self._cluster.now:
+            raise SimulationError("horizon must lie in the future")
+        self._schedule_next_failure_or_repair()
+        self._schedule_next_probe()
+        self._cluster.simulator.run(until=horizon)
+        # Grace period: let in-flight probe runs terminate (no new probes
+        # or failures are scheduled past the horizon because their
+        # generators re-arm only when they fire).
+        self._cluster.run_for(self._cluster.termination_timeout * 4)
+        for run in self.statistics.runs:
+            if run.status is RunStatus.COMMITTED:
+                self.statistics.committed += 1
+            elif run.status is RunStatus.DENIED:
+                self.statistics.denied += 1
+            else:
+                self.statistics.other += 1
+        return self.statistics

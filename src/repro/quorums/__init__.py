@@ -1,0 +1,34 @@
+"""Static quorum algebra: coteries and vote assignments.
+
+The static baselines of the paper (voting, weighted voting, primary-site
+variants) are instances of this algebra; the concluding challenge of the
+paper ("the optimal algorithm") ranges over coteries, so the module also
+provides domination and nondomination tests.
+"""
+
+from .coterie import (
+    Coterie,
+    coterie_from_votes,
+    majority_coterie,
+    primary_copy_coterie,
+    tree_coterie,
+)
+from .optimal import OptimalAssignment, optimal_vote_assignment
+from .vote_assignment import (
+    VoteAssignment,
+    majority_availability,
+    uniform_up_probability,
+)
+
+__all__ = [
+    "Coterie",
+    "majority_coterie",
+    "primary_copy_coterie",
+    "tree_coterie",
+    "coterie_from_votes",
+    "VoteAssignment",
+    "OptimalAssignment",
+    "optimal_vote_assignment",
+    "majority_availability",
+    "uniform_up_probability",
+]

@@ -1,0 +1,244 @@
+"""Coteries: the abstract quorum structures underlying static voting.
+
+A *coterie* over a site set *U* (Garcia-Molina & Barbara 1985, Lamport 1978)
+is a set of groups (quorums) such that
+
+* every group is a nonempty subset of *U*,
+* any two groups intersect (so two disjoint partitions can never both
+  contain a quorum), and
+* no group is a proper subset of another (minimality).
+
+Every static pessimistic replica control algorithm can be described by a
+coterie: the distinguished partitions are exactly the partitions containing
+some quorum.  The paper cites coteries as the general framework that its
+concluding challenge ("the optimal algorithm") ranges over, and its Section
+VII remarks that a distinguished partition may convert to *any* valid
+coterie.  This module provides the algebra: validation, domination,
+construction from vote assignments, and the majority/primary coteries used
+by the baselines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..errors import ProtocolError
+from ..types import SiteId, validate_sites
+
+__all__ = [
+    "Coterie",
+    "majority_coterie",
+    "primary_copy_coterie",
+    "tree_coterie",
+    "coterie_from_votes",
+]
+
+
+class Coterie:
+    """An immutable, validated coterie.
+
+    Parameters
+    ----------
+    universe:
+        All sites the coterie ranges over.
+    groups:
+        The quorum groups.  Validated for nonemptiness, intersection and
+        minimality; a :class:`ProtocolError` explains any violation.
+    """
+
+    def __init__(
+        self, universe: Sequence[SiteId], groups: Iterable[Iterable[SiteId]]
+    ) -> None:
+        self._universe = frozenset(validate_sites(universe))
+        normalized = sorted(
+            {frozenset(g) for g in groups}, key=lambda g: (len(g), sorted(g))
+        )
+        if not normalized:
+            raise ProtocolError("a coterie needs at least one group")
+        for group in normalized:
+            if not group:
+                raise ProtocolError("coterie groups must be nonempty")
+            strangers = group - self._universe
+            if strangers:
+                raise ProtocolError(
+                    f"group {sorted(group)} mentions unknown sites {sorted(strangers)}"
+                )
+        for g1, g2 in itertools.combinations(normalized, 2):
+            if not (g1 & g2):
+                raise ProtocolError(
+                    f"groups {sorted(g1)} and {sorted(g2)} do not intersect"
+                )
+            if g1 < g2 or g2 < g1:
+                raise ProtocolError(
+                    f"group {sorted(min(g1, g2, key=len))} is a proper subset of "
+                    f"{sorted(max(g1, g2, key=len))}; coteries must be minimal"
+                )
+        self._groups = tuple(normalized)
+
+    @property
+    def universe(self) -> frozenset[SiteId]:
+        """All sites the coterie ranges over."""
+        return self._universe
+
+    @property
+    def groups(self) -> tuple[frozenset[SiteId], ...]:
+        """The quorum groups, smallest first."""
+        return self._groups
+
+    def is_quorum(self, partition: Iterable[SiteId]) -> bool:
+        """True iff ``partition`` contains some group of the coterie."""
+        members = frozenset(partition)
+        return any(group <= members for group in self._groups)
+
+    def blocking_sets(self) -> tuple[frozenset[SiteId], ...]:
+        """Minimal site sets intersecting every group (the antiquorums).
+
+        A partition that avoids a quorum must exclude... equivalently, a set
+        of *failed* sites kills all quorums iff it contains a blocking set.
+        Computed by brute force; intended for the small universes of the
+        paper (n <= 20 is already generous for exact work).
+        """
+        sites = sorted(self._universe)
+        blockers: list[frozenset[SiteId]] = []
+        for size in range(1, len(sites) + 1):
+            for combo in itertools.combinations(sites, size):
+                candidate = frozenset(combo)
+                if any(existing <= candidate for existing in blockers):
+                    continue
+                if all(candidate & group for group in self._groups):
+                    blockers.append(candidate)
+        return tuple(sorted(blockers, key=lambda b: (len(b), sorted(b))))
+
+    def dominates(self, other: "Coterie") -> bool:
+        """True iff this coterie dominates ``other`` (and differs from it).
+
+        Coterie C dominates D when C != D and every group of D is a superset
+        of some group of C: C grants a quorum whenever D does, and possibly
+        more often.  Nondominated coteries are the efficient frontier of
+        static replica control (Garcia-Molina & Barbara).
+        """
+        if self._universe != other._universe:
+            raise ProtocolError("domination requires a common universe")
+        if self._groups == other._groups:
+            return False
+        return all(
+            any(mine <= theirs for mine in self._groups) for theirs in other._groups
+        )
+
+    def is_dominated(self) -> bool:
+        """True iff some coterie over the same universe dominates this one.
+
+        Uses the classical characterisation: a coterie is nondominated iff
+        for every partition of the universe into a set S and its complement,
+        S contains a group or the complement contains a group... more
+        precisely, C is dominated iff there exists a set H that intersects
+        every group of C but contains no group of C (H could then be added,
+        after pruning, to form a dominating coterie).
+        """
+        sites = sorted(self._universe)
+        for size in range(1, len(sites) + 1):
+            for combo in itertools.combinations(sites, size):
+                candidate = frozenset(combo)
+                intersects_all = all(candidate & g for g in self._groups)
+                contains_none = not any(g <= candidate for g in self._groups)
+                if intersects_all and contains_none:
+                    return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coterie):
+            return NotImplemented
+        return self._universe == other._universe and self._groups == other._groups
+
+    def __hash__(self) -> int:
+        return hash((self._universe, self._groups))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join("".join(sorted(g)) for g in self._groups)
+        return f"Coterie({{{rendered}}})"
+
+
+def majority_coterie(sites: Sequence[SiteId]) -> Coterie:
+    """The majority coterie: all minimal strict-majority groups.
+
+    This is exactly the family of potential distinguished partitions of
+    simple voting: groups of ``floor(n/2) + 1`` sites.
+    """
+    sites = validate_sites(sites)
+    quorum = len(sites) // 2 + 1
+    return Coterie(sites, itertools.combinations(sorted(sites), quorum))
+
+
+def primary_copy_coterie(sites: Sequence[SiteId], primary: SiteId) -> Coterie:
+    """The primary-copy coterie: the singleton group {primary}."""
+    sites = validate_sites(sites)
+    if primary not in sites:
+        raise ProtocolError(f"primary {primary!r} is not among the sites")
+    return Coterie(sites, [[primary]])
+
+
+def tree_coterie(sites: Sequence[SiteId]) -> Coterie:
+    """A binary-tree coterie over ``2**k - 1`` sites (Agrawal & El Abbadi).
+
+    Quorums are root-to-leaf paths, with a recursive replacement rule for
+    missing interior nodes; included as a further static baseline showing
+    the coterie machinery is not voting-specific.  For a complete binary
+    tree with levels numbered from the root, a quorum is obtained by the
+    recursion ``Q(v) = {v} + Q(child)`` or ``Q(left) + Q(right)`` when *v*
+    is skipped.
+    """
+    sites = validate_sites(sites)
+    n = len(sites)
+    if n & (n + 1):
+        raise ProtocolError(
+            f"tree coterie needs 2**k - 1 sites, got {n}"
+        )
+    ordered = sorted(sites)
+
+    def quorums(index: int) -> list[frozenset[SiteId]]:
+        if index >= n:
+            return [frozenset()]
+        left, right = 2 * index + 1, 2 * index + 2
+        if left >= n:
+            return [frozenset({ordered[index]})]
+        with_node = [
+            frozenset({ordered[index]}) | rest
+            for rest in quorums(left) + quorums(right)
+        ]
+        without_node = [
+            a | b for a in quorums(left) for b in quorums(right)
+        ]
+        return with_node + without_node
+
+    groups = quorums(0)
+    minimal = [
+        g for g in set(groups) if not any(o < g for o in set(groups))
+    ]
+    return Coterie(sites, minimal)
+
+
+def coterie_from_votes(
+    sites: Sequence[SiteId], votes: Mapping[SiteId, int]
+) -> Coterie:
+    """The coterie induced by a vote assignment (minimal majority groups).
+
+    A group is any minimal set of sites holding more than half the votes.
+    Sites with zero votes never appear in a minimal group.  Raises if no
+    majority group exists (total votes zero).
+    """
+    sites = validate_sites(sites)
+    total = sum(votes.get(s, 0) for s in sites)
+    if total <= 0:
+        raise ProtocolError("total votes must be positive")
+    groups: list[frozenset[SiteId]] = []
+    ordered = sorted(sites)
+    for size in range(1, len(ordered) + 1):
+        for combo in itertools.combinations(ordered, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in groups):
+                continue
+            held = sum(votes.get(s, 0) for s in candidate)
+            if 2 * held > total:
+                groups.append(candidate)
+    return Coterie(sites, groups)

@@ -1,0 +1,203 @@
+"""Vote assignments and their exact availability under independent failures.
+
+Static voting is parameterised by a vote assignment (Gifford 1979; the
+optimality of assignments is studied by Garcia-Molina & Barbara 1985).
+This module evaluates an assignment exactly: given each site's steady-state
+probability of being up, it enumerates site subsets to compute both
+availability measures used in the paper's Section VI-C:
+
+* the **traditional measure** -- the probability that the set of up sites
+  contains a quorum;
+* the **site measure** -- the probability that an update arriving at a
+  uniformly random site finds that site up *and* inside a quorum-holding
+  partition (the measure the paper adopts).
+
+Exact enumeration is exponential in *n* but instantaneous for the paper's
+range (n <= 20 would need smarter counting; the uniform-probability fast
+path below handles any *n* with binomial sums).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from ..types import SiteId, validate_sites
+from .coterie import Coterie, coterie_from_votes
+
+__all__ = ["VoteAssignment", "majority_availability", "uniform_up_probability"]
+
+
+def uniform_up_probability(repair_failure_ratio: float) -> float:
+    """Steady-state P(site up) for Poisson failures/repairs: mu/(lambda+mu).
+
+    With repair rate mu and failure rate lambda, each site is an independent
+    two-state Markov process whose stationary up-probability is
+    ``mu / (lambda + mu) = r / (1 + r)`` where ``r = mu / lambda``.
+    """
+    if repair_failure_ratio < 0:
+        raise ProtocolError(
+            f"repair/failure ratio must be nonnegative, got {repair_failure_ratio}"
+        )
+    return repair_failure_ratio / (1.0 + repair_failure_ratio)
+
+
+@dataclass(frozen=True)
+class VoteAssignment:
+    """A static vote assignment over a site set."""
+
+    sites: tuple[SiteId, ...]
+    votes: Mapping[SiteId, int]
+
+    @classmethod
+    def uniform(cls, sites: Sequence[SiteId]) -> "VoteAssignment":
+        """One vote per site (simple majority voting)."""
+        sites = validate_sites(sites)
+        return cls(sites, dict.fromkeys(sites, 1))
+
+    @classmethod
+    def weighted(
+        cls, sites: Sequence[SiteId], votes: Mapping[SiteId, int]
+    ) -> "VoteAssignment":
+        """Arbitrary nonnegative integer votes (missing sites get zero)."""
+        sites = validate_sites(sites)
+        full = {s: int(votes.get(s, 0)) for s in sites}
+        if any(v < 0 for v in full.values()):
+            raise ProtocolError("vote counts must be nonnegative")
+        if sum(full.values()) <= 0:
+            raise ProtocolError("total votes must be positive")
+        return cls(sites, full)
+
+    @property
+    def total(self) -> int:
+        """Sum of all votes."""
+        return sum(self.votes.values())
+
+    def has_quorum(self, up: frozenset[SiteId]) -> bool:
+        """True iff the up set holds a strict majority of the votes."""
+        held = sum(self.votes[s] for s in up)
+        return 2 * held > self.total
+
+    def coterie(self) -> Coterie:
+        """The induced coterie of minimal majority groups."""
+        return coterie_from_votes(self.sites, self.votes)
+
+    # ------------------------------------------------------------------ #
+    # Exact availability
+    # ------------------------------------------------------------------ #
+
+    def _up_probability(
+        self, up_probability: float | Mapping[SiteId, float]
+    ) -> dict[SiteId, float]:
+        if isinstance(up_probability, Mapping):
+            table = {s: float(up_probability[s]) for s in self.sites}
+        else:
+            table = dict.fromkeys(self.sites, float(up_probability))
+        for site, p in table.items():
+            if not 0.0 <= p <= 1.0:
+                raise ProtocolError(f"P(up) for {site} out of range: {p}")
+        return table
+
+    def availability(
+        self, up_probability: float | Mapping[SiteId, float]
+    ) -> float:
+        """Traditional measure: P(the up set contains a vote majority)."""
+        table = self._up_probability(up_probability)
+        return sum(
+            weight for up, weight in self._enumerate(table) if self.has_quorum(up)
+        )
+
+    def site_availability(
+        self, up_probability: float | Mapping[SiteId, float]
+    ) -> float:
+        """Site measure: P(random arrival site is up and holds a quorum).
+
+        This is the paper's measure: the update must arrive at one of the
+        *k* functioning sites of a distinguished partition, contributing a
+        factor ``k/n``.
+        """
+        table = self._up_probability(up_probability)
+        n = len(self.sites)
+        return sum(
+            weight * len(up) / n
+            for up, weight in self._enumerate(table)
+            if self.has_quorum(up)
+        )
+
+    def _enumerate(self, table: Mapping[SiteId, float]):
+        """Yield (up set, probability) for all 2**n failure patterns."""
+        ordered = sorted(self.sites)
+        for pattern in itertools.product((False, True), repeat=len(ordered)):
+            weight = 1.0
+            members = []
+            for site, up in zip(ordered, pattern):
+                weight *= table[site] if up else 1.0 - table[site]
+                if up:
+                    members.append(site)
+            yield frozenset(members), weight
+
+    # ------------------------------------------------------------------ #
+    # Symbolic availability
+    # ------------------------------------------------------------------ #
+
+    def availability_symbolic(self, measure: str = "site"):
+        """Availability as an exact rational function of r = mu/lambda.
+
+        Under the homogeneous model every site is up with probability
+        ``p = r/(1+r)``, so each up-pattern with *k* up sites weighs
+        ``r^k / (1+r)^n``; summing the quorum patterns gives a rational
+        function directly comparable to the dynamic protocols' symbolic
+        availabilities (``repro.markov.availability_symbolic``).
+        """
+        from fractions import Fraction
+
+        from ..ratfunc import Polynomial, RationalFunction
+
+        if measure not in ("site", "traditional"):
+            raise ProtocolError(f"unknown measure {measure!r}")
+        n = len(self.sites)
+        r = Polynomial.linear(0, 1)
+        numerator = Polynomial()
+        ordered = sorted(self.sites)
+        for pattern in itertools.product((False, True), repeat=n):
+            up = frozenset(s for s, flag in zip(ordered, pattern) if flag)
+            if not self.has_quorum(up):
+                continue
+            k = len(up)
+            term = r**k * (1 - r) ** 0  # r^k; the q-part folds into (1+r)^n
+            # q^(n-k) corresponds to 1 in the numerator once everything is
+            # placed over (1+r)^n: p^k q^(n-k) = r^k / (1+r)^n.
+            if measure == "site":
+                term = term * Polynomial.constant(Fraction(k, n))
+            numerator = numerator + term
+        denominator = (Polynomial.constant(1) + r) ** n
+        return RationalFunction(numerator, denominator)
+
+
+def majority_availability(
+    n: int, up_probability: float, measure: str = "site"
+) -> float:
+    """Closed-form availability of simple majority voting over ``n`` sites.
+
+    ``measure`` selects ``"site"`` (the paper's measure, with the ``k/n``
+    arrival factor) or ``"traditional"``.  Uses binomial sums, so it scales
+    to any ``n``; used as the fast path for the voting curves of Figs. 3-4
+    and cross-checked against :class:`VoteAssignment` enumeration in tests.
+    """
+    if n < 1:
+        raise ProtocolError(f"need at least one site, got n={n}")
+    if not 0.0 <= up_probability <= 1.0:
+        raise ProtocolError(f"P(up) out of range: {up_probability}")
+    if measure not in ("site", "traditional"):
+        raise ProtocolError(f"unknown measure {measure!r}")
+    p, q = up_probability, 1.0 - up_probability
+    total = 0.0
+    for k in range(n // 2 + 1, n + 1):
+        term = math.comb(n, k) * p**k * q ** (n - k)
+        if measure == "site":
+            term *= k / n
+        total += term
+    return total

@@ -1,0 +1,128 @@
+"""Exact linear solvers: over the rationals and over polynomial entries.
+
+Two solvers back the Markov analysis:
+
+* :func:`fraction_solve` -- Gaussian elimination over ``Fraction`` entries.
+  Used to evaluate steady states *exactly at a rational repair/failure
+  ratio* (the paper's "computed exactly using rational arithmetic" step
+  that verifies each crossover bracket).
+* :func:`bareiss_solve` -- fraction-free (Bareiss) elimination over
+  polynomial entries, yielding the steady state as exact rational functions
+  of ``r = mu/lambda`` (the paper's Maple ``solve`` step).  Bareiss keeps
+  every intermediate entry polynomial -- each is a minor of the original
+  matrix -- so no rational-function arithmetic is needed until the final
+  back-substitution.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from collections.abc import Sequence
+
+from ..errors import AlgebraError, SingularSystemError
+from .polynomial import ONE, ZERO, Polynomial
+from .rational import RationalFunction
+
+__all__ = ["fraction_solve", "bareiss_solve"]
+
+
+def fraction_solve(
+    matrix: Sequence[Sequence[Fraction]], rhs: Sequence[Fraction]
+) -> list[Fraction]:
+    """Solve ``matrix @ x = rhs`` exactly over the rationals.
+
+    Plain Gaussian elimination with a largest-magnitude pivot (which keeps
+    Fraction growth moderate in practice).  Raises
+    :class:`SingularSystemError` when no unique solution exists.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix) or len(rhs) != n:
+        raise AlgebraError("fraction_solve needs a square system")
+    augmented = [
+        [Fraction(value) for value in row] + [Fraction(rhs[i])]
+        for i, row in enumerate(matrix)
+    ]
+    for k in range(n):
+        pivot_row = max(
+            range(k, n), key=lambda i: abs(augmented[i][k]), default=k
+        )
+        if augmented[pivot_row][k] == 0:
+            raise SingularSystemError(f"singular at column {k}")
+        if pivot_row != k:
+            augmented[k], augmented[pivot_row] = augmented[pivot_row], augmented[k]
+        pivot = augmented[k][k]
+        for i in range(k + 1, n):
+            factor = augmented[i][k] / pivot
+            if factor == 0:
+                continue
+            row_i, row_k = augmented[i], augmented[k]
+            row_i[k] = Fraction(0)
+            for j in range(k + 1, n + 1):
+                row_i[j] -= factor * row_k[j]
+    solution = [Fraction(0)] * n
+    for i in range(n - 1, -1, -1):
+        accumulated = augmented[i][n]
+        row = augmented[i]
+        for j in range(i + 1, n):
+            accumulated -= row[j] * solution[j]
+        solution[i] = accumulated / row[i]
+    return solution
+
+
+def bareiss_solve(
+    matrix: Sequence[Sequence[Polynomial]], rhs: Sequence[Polynomial]
+) -> list[RationalFunction]:
+    """Solve ``matrix @ x = rhs`` over polynomials, exactly.
+
+    Fraction-free forward elimination (Bareiss 1968): after step *k* every
+    entry is the determinant of a ``(k+1) x (k+1)`` minor of the original
+    matrix, and the division by the previous pivot is exact.  Back-
+    substitution then produces reduced :class:`RationalFunction` values.
+
+    Raises :class:`SingularSystemError` when no unique solution exists.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix) or len(rhs) != n:
+        raise AlgebraError("bareiss_solve needs a square system")
+    augmented: list[list[Polynomial]] = [
+        [_as_poly(value) for value in row] + [_as_poly(rhs[i])]
+        for i, row in enumerate(matrix)
+    ]
+    previous_pivot = ONE
+    for k in range(n):
+        pivot_row = None
+        best_degree = None
+        for i in range(k, n):
+            entry = augmented[i][k]
+            if entry.is_zero():
+                continue
+            if best_degree is None or entry.degree < best_degree:
+                pivot_row, best_degree = i, entry.degree
+        if pivot_row is None:
+            raise SingularSystemError(f"singular at column {k}")
+        if pivot_row != k:
+            augmented[k], augmented[pivot_row] = augmented[pivot_row], augmented[k]
+        pivot = augmented[k][k]
+        for i in range(k + 1, n):
+            row_i, row_k = augmented[i], augmented[k]
+            head = row_i[k]
+            row_i[k] = ZERO
+            for j in range(k + 1, n + 1):
+                row_i[j] = (pivot * row_i[j] - head * row_k[j]).exact_div(
+                    previous_pivot
+                )
+        previous_pivot = pivot
+    solution: list[RationalFunction] = [RationalFunction(ZERO)] * n
+    for i in range(n - 1, -1, -1):
+        accumulated = RationalFunction(augmented[i][n])
+        row = augmented[i]
+        for j in range(i + 1, n):
+            accumulated = accumulated - RationalFunction(row[j]) * solution[j]
+        solution[i] = accumulated / RationalFunction(row[i])
+    return solution
+
+
+def _as_poly(value) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    return Polynomial.constant(value)

@@ -1,0 +1,189 @@
+"""Exact rational functions (quotients of polynomials) over the rationals.
+
+The symbolic steady-state probabilities of the Section VI Markov chains --
+and hence the availabilities and their differences -- are rational
+functions of the repair/failure ratio ``r = mu/lambda``.  This module keeps
+them reduced (numerator and denominator coprime, denominator monic) so
+equality is structural and evaluation is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import AlgebraError
+from .polynomial import ONE, ZERO, Polynomial
+
+__all__ = ["RationalFunction"]
+
+
+class RationalFunction:
+    """A reduced quotient of two :class:`Polynomial` values."""
+
+    __slots__ = ("_numerator", "_denominator")
+
+    def __init__(self, numerator, denominator=ONE) -> None:
+        numerator = self._as_polynomial(numerator)
+        denominator = self._as_polynomial(denominator)
+        if denominator.is_zero():
+            raise AlgebraError("rational function with zero denominator")
+        if numerator.is_zero():
+            self._numerator = ZERO
+            self._denominator = ONE
+            return
+        common = numerator.gcd(denominator)
+        if common.degree > 0:
+            numerator = numerator.exact_div(common)
+            denominator = denominator.exact_div(common)
+        lead = denominator.leading_coefficient
+        if lead != 1:
+            numerator = numerator * (1 / lead)
+            denominator = denominator.monic()
+        self._numerator = numerator
+        self._denominator = denominator
+
+    @staticmethod
+    def _as_polynomial(value) -> Polynomial:
+        if isinstance(value, Polynomial):
+            return value
+        return Polynomial.constant(value)
+
+    @classmethod
+    def constant(cls, value) -> "RationalFunction":
+        """The constant rational function."""
+        return cls(Polynomial.constant(value))
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def numerator(self) -> Polynomial:
+        """The reduced numerator."""
+        return self._numerator
+
+    @property
+    def denominator(self) -> Polynomial:
+        """The reduced, monic denominator."""
+        return self._denominator
+
+    def is_zero(self) -> bool:
+        """True iff identically zero."""
+        return self._numerator.is_zero()
+
+    def is_polynomial(self) -> bool:
+        """True iff the reduced denominator is constant."""
+        return self._denominator.degree == 0
+
+    # ------------------------------------------------------------------ #
+    # Field operations
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, other) -> "RationalFunction | None":
+        if isinstance(other, RationalFunction):
+            return other
+        try:
+            return RationalFunction(self._as_polynomial(other))
+        except AlgebraError:
+            return None
+
+    def __add__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return RationalFunction(
+            self._numerator * rhs._denominator + rhs._numerator * self._denominator,
+            self._denominator * rhs._denominator,
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "RationalFunction":
+        return RationalFunction(-self._numerator, self._denominator)
+
+    def __sub__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return RationalFunction(
+            self._numerator * rhs._numerator,
+            self._denominator * rhs._denominator,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        if rhs.is_zero():
+            raise AlgebraError("division by the zero rational function")
+        return RationalFunction(
+            self._numerator * rhs._denominator,
+            self._denominator * rhs._numerator,
+        )
+
+    def __rtruediv__(self, other) -> "RationalFunction":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs / self
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, point):
+        """Evaluate at a point; exact for Fraction/int arguments.
+
+        Raises :class:`AlgebraError` at a pole (zero denominator).
+        """
+        denominator = self._denominator(point)
+        if denominator == 0:
+            raise AlgebraError(f"pole at {point}")
+        return self._numerator(point) / denominator
+
+    def sign_at(self, point: Fraction) -> int:
+        """Exact sign (-1, 0, +1) at a rational point."""
+        value = self(Fraction(point))
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Equality / rendering
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other) -> bool:
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return (
+            self._numerator == rhs._numerator
+            and self._denominator == rhs._denominator
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._numerator, self._denominator))
+
+    def __repr__(self) -> str:
+        if self.is_polynomial():
+            return f"RationalFunction({self._numerator.to_string()})"
+        return (
+            f"RationalFunction(({self._numerator.to_string()}) / "
+            f"({self._denominator.to_string()}))"
+        )

@@ -1,0 +1,37 @@
+"""Dynamic vote reassignment (Barbara, Garcia-Molina & Spauster).
+
+Section VII of the paper reads the whole dynamic family as vote
+reassignment policies over version-stamped vote ledgers; this subpackage
+makes that reading executable and mechanically verified:
+
+* :class:`VoteLedger` -- the per-copy (version, assignment) record;
+* :class:`VoteReassignmentProtocol` -- majority rule over the newest
+  ledger, with a pluggable commit-time policy;
+* the policies: :class:`KeepVotes` (static voting),
+  :class:`GroupConsensus` (dynamic voting), :class:`LinearBonus`
+  (dynamic-linear), :class:`TrioFreeze` (the hybrid algorithm).
+"""
+
+from .ledger import VoteLedger
+from .policies import (
+    POLICIES,
+    GroupConsensus,
+    KeepVotes,
+    LinearBonus,
+    ReassignmentPolicy,
+    TrioFreeze,
+)
+from .protocol import VoteReassignmentProtocol
+from .witnesses import WitnessVotingProtocol
+
+__all__ = [
+    "VoteLedger",
+    "VoteReassignmentProtocol",
+    "WitnessVotingProtocol",
+    "ReassignmentPolicy",
+    "KeepVotes",
+    "GroupConsensus",
+    "LinearBonus",
+    "TrioFreeze",
+    "POLICIES",
+]

@@ -1,0 +1,157 @@
+"""Vote reassignment policies.
+
+Section VII's reading of the dynamic algorithms: *"each participant in an
+update gets one vote, the distinguished site gets one extra vote (when the
+number of sites participating is even), and nonparticipants get no votes"*
+-- i.e. every protocol in the family is the majority rule over a
+version-stamped vote ledger, and the protocols differ only in the *policy*
+that rewrites the assignment at commit time.  The policies here make that
+reading executable:
+
+=====================  ===========================================
+policy                 reproduces
+=====================  ===========================================
+:class:`KeepVotes`     static (weighted) voting
+:class:`GroupConsensus`  dynamic voting (SIGMOD'87)
+:class:`LinearBonus`   dynamic-linear (VLDB'87)
+:class:`TrioFreeze`    the hybrid algorithm
+=====================  ===========================================
+
+The equivalences are verified mechanically in the test suite and in
+``benchmarks/bench_vote_reassignment.py``: identical accepted updates over
+exhaustive partition histories, and identical derived Markov chains.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+from ..types import SiteId
+from .ledger import VoteLedger
+
+__all__ = [
+    "ReassignmentPolicy",
+    "KeepVotes",
+    "GroupConsensus",
+    "LinearBonus",
+    "TrioFreeze",
+    "POLICIES",
+]
+
+
+class ReassignmentPolicy(abc.ABC):
+    """How a committing partition rewrites the vote assignment."""
+
+    #: Short name used by the registry-style lookup.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial(
+        self, sites: frozenset[SiteId], greatest: SiteId
+    ) -> Mapping[SiteId, int]:
+        """The assignment installed when the file is created."""
+
+    @abc.abstractmethod
+    def reassign(
+        self,
+        participants: frozenset[SiteId],
+        previous: VoteLedger,
+        greatest: SiteId,
+    ) -> Mapping[SiteId, int] | None:
+        """The assignment installed by a commit; ``None`` keeps the old one.
+
+        ``greatest`` is the greatest *participant* in the protocol's total
+        order (the distinguished-site candidate).
+        """
+
+
+def _unit_votes(sites: frozenset[SiteId]) -> dict[SiteId, int]:
+    return dict.fromkeys(sorted(sites), 1)
+
+
+def _with_bonus(sites: frozenset[SiteId], greatest: SiteId) -> dict[SiteId, int]:
+    votes = _unit_votes(sites)
+    if len(sites) % 2 == 0:
+        votes[greatest] = 2
+    return votes
+
+
+class KeepVotes(ReassignmentPolicy):
+    """Never reassign: static voting over the initial assignment."""
+
+    name = "keep"
+
+    def __init__(self, votes: Mapping[SiteId, int] | None = None) -> None:
+        self._votes = dict(votes) if votes is not None else None
+
+    def initial(self, sites, greatest):
+        if self._votes is not None:
+            return dict(self._votes)
+        return _unit_votes(sites)
+
+    def reassign(self, participants, previous, greatest):
+        return None
+
+
+class GroupConsensus(ReassignmentPolicy):
+    """One vote per participant: dynamic voting."""
+
+    name = "group-consensus"
+
+    def initial(self, sites, greatest):
+        return _unit_votes(sites)
+
+    def reassign(self, participants, previous, greatest):
+        return _unit_votes(participants)
+
+
+class LinearBonus(ReassignmentPolicy):
+    """One vote per participant, an extra for the greatest when the count
+    is even: dynamic-linear."""
+
+    name = "linear-bonus"
+
+    def initial(self, sites, greatest):
+        return _with_bonus(sites, greatest)
+
+    def reassign(self, participants, previous, greatest):
+        return _with_bonus(participants, greatest)
+
+
+class TrioFreeze(ReassignmentPolicy):
+    """Linear-bonus, except three-participant commits freeze the ledger.
+
+    A commit by exactly three sites installs three unit votes (the static
+    trio); while that trio assignment is in force, a minimal two-site
+    commit leaves it untouched -- the absent member "retains its vote" --
+    and any larger commit reassigns dynamically.  This is the hybrid
+    algorithm, stated as a vote policy.
+    """
+
+    name = "trio-freeze"
+
+    @staticmethod
+    def _is_trio(ledger: VoteLedger) -> bool:
+        return len(ledger.votes) == 3 and all(v == 1 for _, v in ledger.votes)
+
+    def initial(self, sites, greatest):
+        if len(sites) == 3:
+            return _unit_votes(sites)
+        return _with_bonus(sites, greatest)
+
+    def reassign(self, participants, previous, greatest):
+        if self._is_trio(previous) and len(participants) == 2:
+            return None
+        if len(participants) == 3:
+            return _unit_votes(participants)
+        return _with_bonus(participants, greatest)
+
+
+#: Name-indexed policies (default-constructed).
+POLICIES: dict[str, type[ReassignmentPolicy]] = {
+    KeepVotes.name: KeepVotes,
+    GroupConsensus.name: GroupConsensus,
+    LinearBonus.name: LinearBonus,
+    TrioFreeze.name: TrioFreeze,
+}

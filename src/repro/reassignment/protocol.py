@@ -1,0 +1,93 @@
+"""The vote reassignment protocol: majority rule over a version ledger.
+
+One protocol covers the whole family: a partition consults the newest
+:class:`~repro.reassignment.ledger.VoteLedger` among its members and is
+distinguished iff its members hold a strict majority of that ledger's
+votes.  A commit bumps the version and rewrites the assignment according
+to the pluggable :class:`~repro.reassignment.policies.ReassignmentPolicy`.
+
+The protocol plugs into everything built for the (VN, SC, DS) family --
+the stochastic model, the Monte-Carlo estimator, the automatic chain
+builder -- because the shared base class only requires metadata with a
+version; the availability machinery is therefore reused verbatim to
+verify the Section VII equivalences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.base import ReplicaControlProtocol
+from ..core.decision import QuorumDecision, Rule, UpdateContext
+from ..types import SiteId
+from .ledger import VoteLedger
+from .policies import GroupConsensus, ReassignmentPolicy
+
+__all__ = ["VoteReassignmentProtocol"]
+
+
+class VoteReassignmentProtocol(ReplicaControlProtocol):
+    """Replica control by dynamic vote reassignment.
+
+    Parameters
+    ----------
+    sites:
+        All sites holding a copy.
+    policy:
+        The reassignment policy (defaults to group consensus, i.e.
+        dynamic voting).
+    order:
+        Optional total order; the greatest participant is offered to the
+        policy as the distinguished-site candidate.
+    """
+
+    name = "vote-reassignment"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        policy: ReassignmentPolicy | None = None,
+        order: Sequence[SiteId] | None = None,
+    ) -> None:
+        super().__init__(sites, order)
+        self._policy = policy if policy is not None else GroupConsensus()
+        self.name = f"vote-reassignment[{self._policy.name}]"
+
+    @property
+    def policy(self) -> ReassignmentPolicy:
+        """The reassignment policy in force."""
+        return self._policy
+
+    def initial_metadata(self) -> VoteLedger:
+        assignment = self._policy.initial(self.sites, self.greatest(self.sites))
+        return VoteLedger.from_assignment(0, assignment)
+
+    def stale_placeholder(self) -> VoteLedger:
+        # Only the (low) version of a stale ledger can influence a
+        # decision; the assignment recorded here is never consulted.
+        return VoteLedger.from_assignment(
+            0, dict.fromkeys(sorted(self.sites), 1)
+        )
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        if not isinstance(meta, VoteLedger):  # pragma: no cover - misuse guard
+            raise TypeError(
+                "vote reassignment needs VoteLedger metadata, got "
+                f"{type(meta).__name__}"
+            )
+        held = meta.held_by(partition)
+        if 2 * held > meta.total:
+            return QuorumDecision(
+                True, Rule.STATIC_MAJORITY, max_version, current, meta.total
+            )
+        return QuorumDecision(
+            False, Rule.DENIED, max_version, current, meta.total
+        )
+
+    def _commit_metadata(self, partition, decision, meta, context=None) -> VoteLedger:
+        assignment = self._policy.reassign(
+            partition, meta, self.greatest(partition)
+        )
+        if assignment is None:
+            return meta.with_version(decision.max_version + 1)
+        return VoteLedger.from_assignment(decision.max_version + 1, assignment)

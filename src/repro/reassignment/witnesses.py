@@ -1,0 +1,90 @@
+"""Voting with witnesses (Paris 1986) in the vote-ledger framework.
+
+The paper borrows its stochastic model from Paris's *voting with
+witnesses*: some sites hold a full copy of the file, others -- the
+*witnesses* -- record only the version number and a vote.  Witnesses make
+quorums cheaper (no data storage, no data transfer) while preserving the
+mutual-exclusion property of voting, at a small availability cost: a
+partition whose freshest version is attested only by witnesses cannot
+serve the data.
+
+:class:`WitnessVotingProtocol` adds a witness set to
+:class:`~repro.reassignment.protocol.VoteReassignmentProtocol`:
+
+* the quorum rule gains one clause -- the newest version in the partition
+  must be held by at least one **copy** site (witnesses can prove a
+  version exists but cannot produce it);
+* any reassignment policy applies, so both Paris's static scheme
+  (:class:`~repro.reassignment.policies.KeepVotes`) and the dynamic
+  variants the later literature explored drop out for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.decision import QuorumDecision, Rule
+from ..errors import ProtocolError
+from ..types import SiteId
+from .policies import ReassignmentPolicy
+from .protocol import VoteReassignmentProtocol
+
+__all__ = ["WitnessVotingProtocol"]
+
+
+class WitnessVotingProtocol(VoteReassignmentProtocol):
+    """Vote-based replica control where some sites are witnesses.
+
+    Parameters
+    ----------
+    sites:
+        Every participating site (copies and witnesses).
+    witnesses:
+        The subset storing only version numbers.  At least one site must
+        remain a full copy.
+    policy:
+        Reassignment policy (default group consensus; pass
+        :class:`KeepVotes` for Paris's original static scheme).
+    """
+
+    name = "witness-voting"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        witnesses: Sequence[SiteId],
+        policy: ReassignmentPolicy | None = None,
+        order: Sequence[SiteId] | None = None,
+    ) -> None:
+        super().__init__(sites, policy, order)
+        witness_set = frozenset(witnesses)
+        strangers = witness_set - self.sites
+        if strangers:
+            raise ProtocolError(
+                f"witnesses {sorted(strangers)} are not among the sites"
+            )
+        if witness_set == self.sites:
+            raise ProtocolError("at least one site must hold a full copy")
+        self._witnesses = witness_set
+        self.name = f"witness-voting[{self.policy.name}]"
+
+    @property
+    def witnesses(self) -> frozenset[SiteId]:
+        """Sites holding version numbers and votes but no data."""
+        return self._witnesses
+
+    @property
+    def copy_sites(self) -> frozenset[SiteId]:
+        """Sites holding the full file."""
+        return self.sites - self._witnesses
+
+    def _decide(self, partition, max_version, current, meta) -> QuorumDecision:
+        decision = super()._decide(partition, max_version, current, meta)
+        if not decision.granted:
+            return decision
+        # The newest version must be producible: a copy site must hold it.
+        if not (current & self.copy_sites):
+            return QuorumDecision(
+                False, Rule.DENIED, max_version, current, decision.cardinality
+            )
+        return decision

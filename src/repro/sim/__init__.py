@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate and the paper's stochastic model.
+
+* :class:`Simulator` -- a generic event-list simulation engine.
+* :class:`Topology` -- sites/links with failures and partition computation.
+* :class:`Rates` / :class:`FailureRepairSampler` -- Poisson failure model.
+* :class:`StochasticReplicaSystem` / :class:`AvailabilityAccumulator` --
+  the Section VI model driving real protocol objects.
+* :func:`estimate_availability` -- Monte-Carlo availability with error bars.
+* :class:`PartitionScenario` / :func:`figure1_scenario` -- scripted
+  partition-graph replay (Fig. 1).
+* :class:`RandomStreams` -- reproducible named randomness.
+"""
+
+from .engine import EventHandle, Simulator
+from .events import Event, EventKind
+from .failures import FailureRepairSampler, PerSiteRates, Rates
+from .model import AvailabilityAccumulator, StochasticReplicaSystem
+from .montecarlo import MonteCarloResult, estimate_availability
+from .rng import RandomStreams, derive_seed
+from .scenario import (
+    FIGURE1_SITES,
+    Epoch,
+    EpochResult,
+    GroupDecision,
+    PartitionScenario,
+    ScenarioTrace,
+    figure1_scenario,
+    paper_order,
+    paper_protocols,
+)
+from .topology import Topology
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Event",
+    "EventKind",
+    "Rates",
+    "PerSiteRates",
+    "FailureRepairSampler",
+    "StochasticReplicaSystem",
+    "AvailabilityAccumulator",
+    "MonteCarloResult",
+    "estimate_availability",
+    "RandomStreams",
+    "derive_seed",
+    "Topology",
+    "PartitionScenario",
+    "ScenarioTrace",
+    "Epoch",
+    "EpochResult",
+    "GroupDecision",
+    "figure1_scenario",
+    "paper_order",
+    "paper_protocols",
+    "FIGURE1_SITES",
+]

@@ -1,0 +1,132 @@
+"""A small, exact discrete-event simulation engine.
+
+The engine is a classic event-list simulator: a priority queue of
+``(time, sequence, action)`` entries, a clock that jumps from event to
+event, and cancellable handles.  The message-level protocol simulator
+(:mod:`repro.netsim`) runs entirely on this engine; the stochastic
+availability model samples competing exponentials directly (it has only two
+event classes alive at a time) but shares the same clock discipline.
+
+Determinism: ties in time break by schedule order (the monotone sequence
+number), so a seeded run replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled action; supports cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """When the action is due."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True iff :meth:`cancel` was called before the action ran."""
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the action from running (idempotent)."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """Event-list simulator with a float clock starting at zero."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Entry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """How many scheduled actions have run."""
+        return self._events_processed
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` after ``delay`` time units (must be >= 0)."""
+        if delay < 0:
+            raise ScheduleError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` at absolute ``time`` (must be >= now)."""
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot schedule at {time}; clock is already at {self._now}"
+            )
+        entry = _Entry(time, next(self._sequence), action)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def step(self) -> bool:
+        """Process the next pending action; False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._events_processed += 1
+            entry.action()
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """Run until the queue drains, the clock passes ``until``, or
+        ``max_events`` actions have been processed.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` when
+        the queue drains or the next event lies beyond it, so time-integral
+        statistics can close their books at the horizon.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            self.step()
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled actions."""
+        return sum(1 for entry in self._queue if not entry.cancelled)

@@ -1,0 +1,47 @@
+"""Event records shared by the simulators and their traces.
+
+The stochastic model of Section VI produces exactly three observable event
+kinds -- a site fails, a site is repaired, an update arrives -- while the
+message-level simulator adds link events.  Traces are sequences of
+:class:`Event` records; scenario scripts compile down to them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..types import SiteId
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    SITE_FAILURE = "site-failure"
+    SITE_REPAIR = "site-repair"
+    LINK_FAILURE = "link-failure"
+    LINK_REPAIR = "link-repair"
+    UPDATE_ARRIVAL = "update-arrival"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """One timestamped event.
+
+    ``subject`` names the failed/repaired site or the update's arrival
+    site; ``peer`` is the second endpoint for link events and ``None``
+    otherwise.  Ordering is by time (then kind/subject), so sorted traces
+    are chronological.
+    """
+
+    time: float
+    kind: EventKind
+    subject: SiteId
+    peer: SiteId | None = None
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``t=3.20 site-failure(C)``."""
+        target = self.subject if self.peer is None else f"{self.subject}-{self.peer}"
+        return f"t={self.time:.2f} {self.kind.value}({target})"

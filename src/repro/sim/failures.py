@@ -1,0 +1,182 @@
+"""Poisson failure and repair processes over a homogeneous site set.
+
+Section VI-B's second and third assumptions: each site fails (while up)
+after an Exp(lambda) holding time and is repaired (while down) after an
+Exp(mu) holding time, independently across sites.  Because exponential
+minima are exponential, the *system* evolves by competing exponentials: the
+next event occurs after Exp(k*lambda + d*mu) where k sites are up and d are
+down, and it is a failure of a uniformly chosen up site with probability
+``k*lambda / (k*lambda + d*mu)``.
+
+:class:`FailureRepairSampler` implements exactly that race; the stochastic
+model consumes its events one at a time.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..types import SiteId, validate_sites
+from .events import Event, EventKind
+
+__all__ = ["Rates", "PerSiteRates", "FailureRepairSampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rates:
+    """The homogeneous failure and repair rates (lambda, mu)."""
+
+    failure: float
+    repair: float
+
+    def __post_init__(self) -> None:
+        if self.failure <= 0:
+            raise SimulationError(f"failure rate must be positive: {self.failure}")
+        if self.repair < 0:
+            raise SimulationError(f"repair rate must be nonnegative: {self.repair}")
+
+    @property
+    def ratio(self) -> float:
+        """The repair/failure ratio mu/lambda the paper sweeps over."""
+        return self.repair / self.failure
+
+    @classmethod
+    def from_ratio(cls, ratio: float, failure: float = 1.0) -> "Rates":
+        """Rates with the given mu/lambda ratio (lambda defaults to 1)."""
+        return cls(failure=failure, repair=ratio * failure)
+
+    def up_probability(self) -> float:
+        """Steady-state P(a site is up) = mu / (lambda + mu)."""
+        if self.repair == 0:
+            return 0.0
+        return self.repair / (self.failure + self.repair)
+
+
+@dataclass(frozen=True)
+class PerSiteRates:
+    """Heterogeneous failure/repair rates (the Section VII challenge model).
+
+    ``failure`` and ``repair`` map each site to its own positive rate; the
+    constructor helpers build them from a homogeneous :class:`Rates` with
+    per-site overrides.
+    """
+
+    failure: dict
+    repair: dict
+
+    def __post_init__(self) -> None:
+        for site, rate in self.failure.items():
+            if rate <= 0:
+                raise SimulationError(
+                    f"failure rate for {site} must be positive, got {rate}"
+                )
+        for site, rate in self.repair.items():
+            if rate < 0:
+                raise SimulationError(
+                    f"repair rate for {site} must be nonnegative, got {rate}"
+                )
+
+    @classmethod
+    def homogeneous(cls, sites: Sequence[SiteId], rates: Rates) -> "PerSiteRates":
+        """All sites share (lambda, mu)."""
+        sites = validate_sites(sites)
+        return cls(
+            dict.fromkeys(sites, rates.failure), dict.fromkeys(sites, rates.repair)
+        )
+
+    def for_sites(self, sites: Sequence[SiteId]) -> "PerSiteRates":
+        """Validate coverage of ``sites`` and return self."""
+        missing = set(sites) - set(self.failure) | set(sites) - set(self.repair)
+        if missing:
+            raise SimulationError(f"missing rates for sites {sorted(missing)}")
+        return self
+
+    def up_probability(self, site: SiteId) -> float:
+        """Steady-state P(site up) = mu_s / (lambda_s + mu_s)."""
+        mu, lam = self.repair[site], self.failure[site]
+        return mu / (lam + mu)
+
+
+class FailureRepairSampler:
+    """Samples the next site failure/repair event by competing exponentials.
+
+    The sampler owns the up/down status of every site; callers pull events
+    with :meth:`next_event` and may inspect :attr:`up` between pulls.
+    Accepts homogeneous :class:`Rates` or heterogeneous
+    :class:`PerSiteRates`.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[SiteId],
+        rates: "Rates | PerSiteRates",
+        rng: random.Random,
+        initially_up: Sequence[SiteId] | None = None,
+    ) -> None:
+        self._sites = validate_sites(sites)
+        if isinstance(rates, Rates):
+            self._per_site = PerSiteRates.homogeneous(self._sites, rates)
+            self._rates = rates
+        else:
+            self._per_site = rates.for_sites(self._sites)
+            self._rates = None
+        self._rng = rng
+        if initially_up is None:
+            up = set(self._sites)
+        else:
+            up = set(validate_sites(initially_up))
+            if not up <= set(self._sites):
+                raise SimulationError("initially_up mentions unknown sites")
+        self._up: set[SiteId] = up
+        self._time = 0.0
+
+    @property
+    def time(self) -> float:
+        """Time of the most recent event (0 before the first)."""
+        return self._time
+
+    @property
+    def up(self) -> frozenset[SiteId]:
+        """Currently functioning sites."""
+        return frozenset(self._up)
+
+    @property
+    def rates(self) -> "Rates | PerSiteRates":
+        """The rates in force (homogeneous object if one was supplied)."""
+        return self._rates if self._rates is not None else self._per_site
+
+    def next_event(self) -> Event:
+        """Advance to, apply, and return the next failure or repair.
+
+        Raises :class:`SimulationError` when no event can ever occur (all
+        sites down with zero repair rate -- an absorbing state the paper's
+        model reaches only when mu = 0).
+        """
+        weighted: list[tuple[SiteId, bool, float]] = []
+        for site in self._sites:
+            if site in self._up:
+                weighted.append((site, True, self._per_site.failure[site]))
+            else:
+                weighted.append((site, False, self._per_site.repair[site]))
+        total = sum(w for _, _, w in weighted)
+        if total <= 0:
+            raise SimulationError(
+                "the system is absorbed: no site can fail or be repaired"
+            )
+        self._time += self._rng.expovariate(total)
+        pick = self._rng.random() * total
+        cumulative = 0.0
+        site, is_failure = weighted[-1][0], weighted[-1][1]
+        for candidate, failing, weight in weighted:
+            cumulative += weight
+            if pick < cumulative:
+                site, is_failure = candidate, failing
+                break
+        if is_failure:
+            self._up.discard(site)
+            return Event(self._time, EventKind.SITE_FAILURE, site)
+        self._up.add(site)
+        return Event(self._time, EventKind.SITE_REPAIR, site)

@@ -1,0 +1,65 @@
+"""Shared primitive types and small helpers used across the package.
+
+The paper replicates a single logical file at sites ``S1 .. Sn``.  Sites are
+identified by short strings (``"A"``, ``"B"``, ... in the paper's examples;
+any hashable, totally orderable string works).  A *partition* is a set of
+sites that can currently communicate; under the stochastic model of Section
+VI the partition of interest is simply the set of functioning sites.
+"""
+
+from __future__ import annotations
+
+import string
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "SiteId",
+    "Partition",
+    "site_names",
+    "canonical_order",
+    "validate_sites",
+]
+
+#: Identifier of a site holding a copy of the replicated file.
+SiteId = str
+
+#: A group of mutually communicating sites.
+Partition = frozenset
+
+
+def site_names(n: int) -> tuple[SiteId, ...]:
+    """Return ``n`` conventional site names: ``A, B, ..., Z, S26, S27, ...``.
+
+    The paper's examples use single letters for up to five sites; for larger
+    systems we continue with ``S<k>`` which preserves a sensible
+    lexicographic order within each regime.
+
+    >>> site_names(3)
+    ('A', 'B', 'C')
+    """
+    if n < 0:
+        raise ValueError(f"number of sites must be nonnegative, got {n}")
+    letters = string.ascii_uppercase
+    names = [letters[i] if i < len(letters) else f"S{i}" for i in range(n)]
+    return tuple(names)
+
+
+def canonical_order(sites: Iterable[SiteId]) -> tuple[SiteId, ...]:
+    """Return the sites sorted by the default total order (lexicographic).
+
+    The dynamic-linear and hybrid protocols need an a priori total ordering
+    of the sites (Section V-A).  Unless a caller supplies an explicit order,
+    the library uses lexicographic order, matching the paper's examples
+    ("the sites are ordered in lexicographic order with respect to the file").
+    """
+    return tuple(sorted(sites))
+
+
+def validate_sites(sites: Sequence[SiteId]) -> tuple[SiteId, ...]:
+    """Validate a site list: nonempty, unique; return it as a tuple."""
+    sites = tuple(sites)
+    if not sites:
+        raise ValueError("a replicated file needs at least one site")
+    if len(set(sites)) != len(sites):
+        raise ValueError(f"duplicate site identifiers in {sites!r}")
+    return sites

@@ -1,0 +1,61 @@
+"""Tests for the machine-readable artifact export."""
+
+import json
+
+import pytest
+
+from repro.analysis import ARTIFACT_VERSION, collect_results, write_artifact
+
+
+@pytest.fixture(scope="module")
+def results():
+    return collect_results(n_values=(3, 4, 5), figure_steps=5)
+
+
+class TestCollect:
+    def test_version_stamp(self, results):
+        assert results["artifact_version"] == ARTIFACT_VERSION
+
+    def test_figure1_narrative_encoded(self, results):
+        assert results["figure1"]["hybrid"]["4.0"] == ["BC"]
+        assert results["figure1"]["dynamic-linear"]["4.0"] == ["A"]
+        assert results["figure1"]["voting"]["2.0"] == []
+
+    def test_state_counts(self, results):
+        assert results["figure2_state_counts"] == {"3": 4, "4": 7, "5": 10}
+
+    def test_theorem3_brackets_are_exact_fraction_strings(self, results):
+        from fractions import Fraction
+
+        for n, row in results["theorem3"].items():
+            low, high = (Fraction(text) for text in row["bracket"])
+            assert low < high
+            assert abs(row["measured"] - row["paper"]) <= 0.011
+
+    def test_figures_have_all_curves(self, results):
+        for label in ("figure3", "figure4"):
+            assert set(results[label]["curves"]) == {
+                "voting", "dynamic", "dynamic-linear", "hybrid",
+            }
+            assert len(results[label]["ratios"]) == 5
+
+    def test_measure_sensitivity_shows_the_flip(self, results):
+        snapshot = results["measure_sensitivity"]["4.0"]
+        assert snapshot["site"]["hybrid"] > snapshot["site"]["dynamic-linear"]
+        assert (
+            snapshot["traditional"]["dynamic-linear"]
+            > snapshot["traditional"]["hybrid"]
+        )
+
+    def test_endurance_identity(self, results):
+        values = results["mean_time_to_blocking"]
+        assert values["hybrid"] == pytest.approx(values["dynamic"], rel=1e-9)
+
+
+class TestWrite:
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        written = write_artifact(path, n_values=(3,), figure_steps=3)
+        loaded = json.loads(path.read_text())
+        assert loaded["artifact_version"] == written["artifact_version"]
+        assert loaded["theorem3"]["3"]["paper"] == 0.82

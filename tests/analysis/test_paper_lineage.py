@@ -1,0 +1,88 @@
+"""The paper's quoted lineage results, verified against our chains.
+
+Before Theorem 3 the paper summarises its earlier comparisons: "Dynamic-
+linear has the most availability of these four algorithms [dynamic-linear,
+dynamic voting, ordinary voting, voting with a primary site], except when
+there are three sites; then ordinary voting has the greatest availability,
+except when the repair/failure ratio is unreasonably small."  These tests
+pin every clause of that sentence.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import numeric_crossover
+from repro.markov import availability, availability_exact
+
+FOUR = ("voting", "primary-site-voting", "dynamic", "dynamic-linear")
+
+
+class TestFourOrMoreSites:
+    @pytest.mark.parametrize("n", [4, 5, 7, 10])
+    def test_dynamic_linear_leads_the_four(self, n):
+        for ratio in (0.3, 1.0, 3.0, 10.0):
+            best = max(FOUR, key=lambda name: availability(name, n, ratio))
+            assert best == "dynamic-linear", (n, ratio, best)
+
+    def test_dynamic_linear_beats_voting_exactly(self):
+        # The paper: dynamic-linear > voting for four or more sites.
+        for n in (4, 5, 6):
+            for ratio in (Fraction(1, 2), Fraction(2), Fraction(10)):
+                assert availability_exact(
+                    "dynamic-linear", n, ratio
+                ) > availability_exact("voting", n, ratio)
+
+
+class TestThreeSites:
+    def test_voting_greatest_at_reasonable_ratios(self):
+        for ratio in (1.0, 2.0, 5.0, 20.0):
+            best = max(FOUR, key=lambda name: availability(name, 3, ratio))
+            assert best == "voting", (ratio, best)
+
+    def test_dynamic_linear_wins_at_unreasonably_small_ratios(self):
+        # The paper's escape clause: below a small ratio the dynamic
+        # algorithms' shrinking quorums win even at three sites.  Because
+        # the hybrid IS voting at n = 3, this crossover must equal
+        # Theorem 3's n = 3 entry (0.82).
+        crossover = numeric_crossover("voting", "dynamic-linear", 3)
+        assert crossover == pytest.approx(0.817, abs=0.01)
+        below = crossover / 2
+        assert availability("dynamic-linear", 3, below) > availability(
+            "voting", 3, below
+        )
+
+    def test_primary_site_equals_voting_at_odd_n(self):
+        # With an odd site count ties never occur, so the primary site is
+        # inert and the two baselines coincide.
+        for ratio in (Fraction(1), Fraction(4)):
+            assert availability_exact(
+                "primary-site-voting", 3, ratio
+            ) == availability_exact("voting", 3, ratio)
+
+
+class TestHybridCompletesTheLineage:
+    def test_hybrid_beats_the_whole_static_family_for_reasonable_ratios(self):
+        for n in (4, 5, 7):
+            for ratio in (1.0, 3.0, 10.0):
+                hybrid = availability("hybrid", n, ratio)
+                for name in ("voting", "primary-site-voting", "primary-copy"):
+                    assert hybrid > availability(name, n, ratio), (n, ratio, name)
+
+    def test_hybrid_matches_voting_at_three_sites(self):
+        # At n = 3 the hybrid *is* two-of-three voting, so the paper's
+        # "voting is best at three sites" carries over to it verbatim.
+        for ratio in (Fraction(1, 2), Fraction(3)):
+            assert availability_exact("hybrid", 3, ratio) == availability_exact(
+                "voting", 3, ratio
+            )
+
+    def test_the_full_ordering_at_the_papers_typical_case(self):
+        # n = 5, ratio 2 (inside Fig. 3/4's junction): the published
+        # ordering hybrid > dynamic-linear > dynamic > voting.
+        values = {
+            name: availability(name, 5, 2.0)
+            for name in ("voting", "dynamic", "dynamic-linear", "hybrid")
+        }
+        ordered = sorted(values, key=values.get, reverse=True)
+        assert ordered == ["hybrid", "dynamic-linear", "dynamic", "voting"]

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DynamicLinearProtocol,
+    DynamicVotingProtocol,
+    HybridProtocol,
+    MajorityVotingProtocol,
+    ModifiedHybridProtocol,
+    OptimalCandidateProtocol,
+)
+from repro.types import site_names
+
+FIVE = site_names(5)  # ("A", "B", "C", "D", "E")
+
+
+@pytest.fixture
+def five_sites():
+    return FIVE
+
+
+@pytest.fixture
+def voting5():
+    return MajorityVotingProtocol(FIVE)
+
+
+@pytest.fixture
+def dynamic5():
+    return DynamicVotingProtocol(FIVE)
+
+
+@pytest.fixture
+def linear5():
+    return DynamicLinearProtocol(FIVE)
+
+
+@pytest.fixture
+def hybrid5():
+    return HybridProtocol(FIVE)
+
+
+@pytest.fixture
+def modified5():
+    return ModifiedHybridProtocol(FIVE)
+
+
+@pytest.fixture
+def optimal5():
+    return OptimalCandidateProtocol(FIVE)
+
+
+def fresh_copies(protocol):
+    """All sites at the protocol's initial metadata."""
+    return dict.fromkeys(protocol.sites, protocol.initial_metadata())

@@ -1,0 +1,59 @@
+"""Unit tests for the decision records and update context."""
+
+import pytest
+
+from repro.core import QuorumDecision, Rule, UpdateContext, UpdateOutcome
+
+
+class TestQuorumDecision:
+    def make(self, granted=True, rule=Rule.DYNAMIC_MAJORITY):
+        return QuorumDecision(granted, rule, 7, frozenset("AB"), 3)
+
+    def test_truthiness_follows_granted(self):
+        assert self.make(granted=True)
+        assert not self.make(granted=False, rule=Rule.DENIED)
+
+    def test_explain_granted(self):
+        text = self.make().explain()
+        assert "distinguished" in text
+        assert "dynamic-majority" in text
+        assert "M=7" in text
+        assert "I={AB}" in text
+        assert "N=3" in text
+
+    def test_explain_denied(self):
+        decision = QuorumDecision(False, Rule.DENIED, 2, frozenset(), 5)
+        text = decision.explain()
+        assert text.startswith("not distinguished")
+        assert "I={-}" in text
+
+    def test_immutability(self):
+        decision = self.make()
+        with pytest.raises(AttributeError):
+            decision.granted = False
+
+    def test_all_rules_have_distinct_values(self):
+        values = [rule.value for rule in Rule]
+        assert len(set(values)) == len(values)
+
+
+class TestUpdateContext:
+    def test_default_has_no_hint(self):
+        assert UpdateContext().recent_failure is None
+
+    def test_hint_is_carried(self):
+        assert UpdateContext(recent_failure="C").recent_failure == "C"
+
+    def test_frozen(self):
+        context = UpdateContext(recent_failure="C")
+        with pytest.raises(AttributeError):
+            context.recent_failure = "D"
+
+
+class TestUpdateOutcome:
+    def test_denied_outcome_shape(self):
+        decision = QuorumDecision(False, Rule.DENIED, 0, frozenset(), 1)
+        outcome = UpdateOutcome(False, decision, None, frozenset())
+        assert not outcome.accepted
+        assert outcome.metadata is None
+        assert outcome.stale_members == frozenset()

@@ -1,0 +1,110 @@
+"""Unit tests for dynamic-linear (dynamic voting with ordered copies)."""
+
+from repro.core import DynamicLinearProtocol, Rule
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+from .test_dynamic_voting import committed
+
+
+class TestTieBreaking:
+    def test_even_commit_records_greatest_site(self, linear5):
+        copies = fresh_copies(linear5)
+        outcome = committed(linear5, copies, {"A", "B", "C", "D"})
+        assert outcome.metadata.cardinality == 4
+        assert outcome.metadata.distinguished == ("D",)
+
+    def test_odd_commit_records_nothing(self, linear5):
+        copies = fresh_copies(linear5)
+        outcome = committed(linear5, copies, {"A", "B", "C"})
+        assert outcome.metadata.distinguished == ()
+
+    def test_half_with_distinguished_site_grants(self, linear5):
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})  # DS = D
+        decision = linear5.is_distinguished({"C", "D"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.LINEAR_TIEBREAK
+
+    def test_half_without_distinguished_site_denied(self, linear5):
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})  # DS = D
+        assert not linear5.is_distinguished({"A", "B"}, copies).granted
+
+    def test_the_two_halves_cannot_both_win(self, linear5):
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})
+        granted = [
+            p
+            for p in ({"A", "B"}, {"C", "D"})
+            if linear5.is_distinguished(p, copies).granted
+        ]
+        assert len(granted) == 1
+
+    def test_cardinality_shrinks_to_one(self, linear5):
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})  # SC=4, DS=D
+        committed(linear5, copies, {"C", "D"})            # SC=2, DS=D
+        outcome = committed(linear5, copies, {"D"})       # half incl. DS
+        assert outcome.accepted
+        assert outcome.metadata.cardinality == 1
+        # ...and the single current site now rules alone:
+        assert linear5.is_distinguished({"D"}, copies).granted
+        assert not linear5.is_distinguished({"A", "B", "C", "E"}, copies).granted
+
+    def test_distinguished_site_must_be_current(self, linear5):
+        # DS in P but with a stale copy does not break the tie: the rule
+        # demands DS be in I (step 4 checks membership of I).
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})  # v1 at ABCD, DS=D
+        committed(linear5, copies, {"A", "B", "C"})       # v2 at ABC, SC=3
+        committed(linear5, copies, {"A", "B", "C", "D"})  # v3, SC=4, DS=D
+        committed(linear5, copies, {"A", "B"})            # v4 at AB? tie: DS=D not in I
+        # The {A,B} attempt above must have been denied: card(I)=2 of 4 and
+        # D not in I... verify directly:
+        assert copies["A"].version == 3
+        decision = linear5.is_distinguished({"A", "B"}, copies)
+        assert not decision.granted
+
+    def test_tiebreak_requires_ds_in_current_not_just_partition(self, linear5):
+        copies = fresh_copies(linear5)
+        committed(linear5, copies, {"A", "B", "C", "D"})  # DS = D
+        committed(linear5, copies, {"A", "B", "D"})       # v2 at ABD, SC=3
+        # Now A,B,D current at v2 with SC=3; C stale at v1.
+        # Partition {A, C}: I = {A}, N = 3 -> no tie possible (odd), denied.
+        assert not linear5.is_distinguished({"A", "C"}, copies).granted
+
+    def test_initial_ds_for_even_n(self):
+        protocol = DynamicLinearProtocol(site_names(4))
+        assert protocol.initial_metadata().distinguished == ("D",)
+
+    def test_initial_ds_for_odd_n(self, linear5):
+        assert linear5.initial_metadata().distinguished == ()
+
+    def test_custom_order_changes_ds(self):
+        protocol = DynamicLinearProtocol(
+            site_names(4), order=["D", "C", "B", "A"]  # A is greatest
+        )
+        copies = fresh_copies(protocol)
+        outcome = committed(protocol, copies, {"A", "B", "C", "D"})
+        assert outcome.metadata.distinguished == ("A",)
+
+
+class TestDominanceOverDynamic:
+    def test_accepts_whenever_dynamic_does_on_shared_history(self, linear5, dynamic5):
+        # With identical histories the linear rule is a strict superset of
+        # the dynamic rule: every dynamic grant is a linear grant.
+        linear_copies = fresh_copies(linear5)
+        dynamic_copies = fresh_copies(dynamic5)
+        partitions = [
+            {"A", "B", "C", "D"},
+            {"A", "B", "C"},
+            {"A", "B"},
+        ]
+        for partition in partitions:
+            d = dynamic5.is_distinguished(partition, dynamic_copies)
+            l = linear5.is_distinguished(partition, linear_copies)
+            if d.granted:
+                assert l.granted
+            committed(dynamic5, dynamic_copies, partition)
+            committed(linear5, linear_copies, partition)

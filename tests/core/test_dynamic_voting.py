@@ -1,0 +1,124 @@
+"""Unit tests for dynamic voting (the SIGMOD'87 protocol)."""
+
+import pytest
+
+from repro.core import DynamicVotingProtocol, ReplicaMetadata, Rule
+from repro.errors import ProtocolError
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+
+
+def committed(protocol, copies, partition):
+    """Attempt an update and install the result; returns the outcome."""
+    outcome = protocol.attempt_update(partition, copies)
+    if outcome.accepted:
+        for site in partition:
+            copies[site] = outcome.metadata
+    return outcome
+
+
+class TestQuorumRule:
+    def test_initial_majority(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        decision = dynamic5.is_distinguished({"A", "B", "C"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.DYNAMIC_MAJORITY
+        assert decision.cardinality == 5
+
+    def test_initial_minority_denied(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        assert not dynamic5.is_distinguished({"D", "E"}, copies).granted
+
+    def test_cardinality_shrinks_with_the_partition(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C"})
+        assert copies["A"].cardinality == 3
+        # Two of the three current copies are now a quorum...
+        decision = dynamic5.is_distinguished({"A", "B"}, copies)
+        assert decision.granted
+        # ...even though two of five would never satisfy static voting.
+
+    def test_exact_half_denied(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C", "D"})
+        assert not dynamic5.is_distinguished({"A", "B"}, copies).granted
+
+    def test_stale_sites_count_in_p_but_not_in_i(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C"})
+        # Partition {A, D, E}: only A holds the current version; one of
+        # three current copies is not a majority.
+        decision = dynamic5.is_distinguished({"A", "D", "E"}, copies)
+        assert not decision.granted
+        assert decision.current == frozenset("A")
+        assert decision.cardinality == 3
+
+    def test_majority_of_current_with_stale_members(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C"})
+        # {A, B, D}: two of the three current copies plus a stale member.
+        decision = dynamic5.is_distinguished({"A", "B", "D"}, copies)
+        assert decision.granted
+
+    def test_cardinality_grows_on_reunion(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C"})
+        outcome = committed(dynamic5, copies, {"A", "B", "C", "D", "E"})
+        assert outcome.accepted
+        assert outcome.metadata.cardinality == 5
+        assert outcome.stale_members == frozenset("DE")
+
+    def test_remaining_minority_cannot_update_after_shrink(self, dynamic5):
+        # The Theorem 1 argument: after {A,B,C} commit from version v,
+        # the leftover version-v sites {D,E} can never assemble a quorum.
+        copies = fresh_copies(dynamic5)
+        committed(dynamic5, copies, {"A", "B", "C"})
+        assert not dynamic5.is_distinguished({"D", "E"}, copies).granted
+
+    def test_version_increments_by_one(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        first = committed(dynamic5, copies, {"A", "B", "C"})
+        second = committed(dynamic5, copies, {"A", "B"})
+        assert (first.metadata.version, second.metadata.version) == (1, 2)
+
+    def test_ds_entry_unused(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        outcome = committed(dynamic5, copies, {"A", "B", "C", "D"})
+        assert outcome.metadata.distinguished == ()
+
+
+class TestValidation:
+    def test_empty_partition_rejected(self, dynamic5):
+        with pytest.raises(ProtocolError):
+            dynamic5.is_distinguished(set(), fresh_copies(dynamic5))
+
+    def test_unknown_site_rejected(self, dynamic5):
+        with pytest.raises(ProtocolError):
+            dynamic5.is_distinguished({"Z"}, fresh_copies(dynamic5))
+
+    def test_missing_metadata_rejected(self, dynamic5):
+        with pytest.raises(ProtocolError):
+            dynamic5.is_distinguished({"A", "B", "C"}, {"A": ReplicaMetadata(0, 5)})
+
+    def test_duplicate_sites_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            DynamicVotingProtocol(["A", "A", "B"])
+
+    def test_order_must_cover_sites(self):
+        with pytest.raises(ProtocolError):
+            DynamicVotingProtocol(site_names(3), order=["A", "B"])
+
+    def test_initial_metadata(self, dynamic5):
+        meta = dynamic5.initial_metadata()
+        assert meta.version == 0
+        assert meta.cardinality == 5
+        assert meta.distinguished == ()
+
+    def test_decision_is_reported_in_outcome(self, dynamic5):
+        copies = fresh_copies(dynamic5)
+        outcome = dynamic5.attempt_update({"D", "E"}, copies)
+        assert not outcome.accepted
+        assert outcome.metadata is None
+        assert outcome.decision.rule is Rule.DENIED
+        assert not outcome.stale_members

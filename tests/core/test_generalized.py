@@ -1,0 +1,112 @@
+"""Unit tests for the generalized hybrid family (Section VII remark)."""
+
+import pytest
+
+from repro.core import GeneralizedHybridProtocol, HybridProtocol, Rule
+from repro.errors import ProtocolError
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+from .test_dynamic_voting import committed
+
+
+class TestValidation:
+    def test_even_threshold_rejected(self):
+        with pytest.raises(ProtocolError):
+            GeneralizedHybridProtocol(site_names(6), threshold=4)
+
+    def test_threshold_below_three_rejected(self):
+        with pytest.raises(ProtocolError):
+            GeneralizedHybridProtocol(site_names(5), threshold=1)
+
+    def test_threshold_above_n_rejected(self):
+        with pytest.raises(ProtocolError):
+            GeneralizedHybridProtocol(site_names(4), threshold=5)
+
+    def test_static_majority(self):
+        protocol = GeneralizedHybridProtocol(site_names(7), threshold=5)
+        assert protocol.static_majority == 3
+
+
+class TestThresholdThreeEqualsHybrid:
+    def test_same_decisions_on_a_partition_cascade(self):
+        sites = site_names(5)
+        generalized = GeneralizedHybridProtocol(sites, threshold=3)
+        hybrid = HybridProtocol(sites)
+        g_copies, h_copies = fresh_copies(generalized), fresh_copies(hybrid)
+        partitions = [
+            {"A", "B", "C", "D"},
+            {"A", "B", "C"},
+            {"A", "C"},
+            {"B", "C", "D", "E"},
+            {"B", "E"},
+            {"E"},
+        ]
+        for partition in partitions:
+            g = generalized.attempt_update(partition, g_copies)
+            h = hybrid.attempt_update(partition, h_copies)
+            assert g.accepted == h.accepted, partition
+            if g.accepted:
+                assert g.metadata == h.metadata
+                for site in partition:
+                    g_copies[site] = g.metadata
+                    h_copies[site] = h.metadata
+
+    def test_initial_metadata_matches_hybrid(self):
+        for n in (3, 4, 5, 6):
+            g = GeneralizedHybridProtocol(site_names(n), threshold=3)
+            h = HybridProtocol(site_names(n))
+            assert g.initial_metadata() == h.initial_metadata()
+
+
+class TestLargerThresholds:
+    def test_five_site_update_installs_the_list(self):
+        protocol = GeneralizedHybridProtocol(site_names(7), threshold=5)
+        copies = fresh_copies(protocol)
+        outcome = committed(protocol, copies, set("ABCDE"))
+        assert outcome.metadata.cardinality == 5
+        assert outcome.metadata.distinguished == tuple("ABCDE")
+        assert protocol.in_static_phase(outcome.metadata)
+
+    def test_static_majority_of_five_grants(self):
+        protocol = GeneralizedHybridProtocol(site_names(7), threshold=5)
+        copies = fresh_copies(protocol)
+        committed(protocol, copies, set("ABCDE"))
+        # Knock the current set down so only the static rule can fire:
+        # partition {A, B, C} holds 3 of the 5 listed sites -> granted.
+        committed(protocol, copies, set("ABCD"))  # dynamic re-entry, SC=4
+        # rebuild the static list:
+        committed(protocol, copies, set("ABCDE"))
+        decision = protocol.is_distinguished({"C", "D", "E"}, copies)
+        assert decision.granted
+        assert decision.rule in (Rule.DYNAMIC_MAJORITY, Rule.STATIC_TRIO)
+
+    def test_minimal_majority_update_stays_static(self):
+        protocol = GeneralizedHybridProtocol(site_names(7), threshold=5)
+        copies = fresh_copies(protocol)
+        committed(protocol, copies, set("ABCDE"))
+        outcome = committed(protocol, copies, set("ABC"))  # exactly majority
+        assert outcome.accepted
+        assert outcome.metadata.cardinality == 5          # unchanged
+        assert outcome.metadata.distinguished == tuple("ABCDE")
+
+    def test_two_of_five_listed_denied(self):
+        protocol = GeneralizedHybridProtocol(site_names(7), threshold=5)
+        copies = fresh_copies(protocol)
+        committed(protocol, copies, set("ABCDE"))
+        committed(protocol, copies, set("ABC"))   # static phase persists
+        assert not protocol.is_distinguished({"D", "E"}, copies).granted
+
+    def test_inert_under_frequent_updates(self):
+        # The model-level finding: any t >= 5 behaves exactly like
+        # dynamic-linear because one failure from t up sites leaves t-1 >
+        # (t+1)/2 and the next update dismantles the list.
+        from repro.markov import availability, derive_chain
+
+        chain = derive_chain(
+            GeneralizedHybridProtocol(site_names(5), threshold=5)
+        )
+        for ratio in (0.5, 1.0, 3.0):
+            assert chain.availability(ratio) == pytest.approx(
+                availability("dynamic-linear", 5, ratio), abs=1e-12
+            )

@@ -1,0 +1,177 @@
+"""Unit tests for the hybrid protocol, including the Section IV example."""
+
+import pytest
+
+from repro.core import HybridProtocol, ReplicatedFile, Rule
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+from .test_dynamic_voting import committed
+
+PAPER_ORDER = ["E", "D", "C", "B", "A"]  # the paper ranks A greatest
+
+
+class TestStaticPhase:
+    def test_three_site_commit_lists_the_trio(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        outcome = committed(hybrid5, copies, {"A", "B", "C"})
+        assert outcome.metadata.cardinality == 3
+        assert outcome.metadata.distinguished == ("A", "B", "C")
+        assert hybrid5.in_static_phase(outcome.metadata)
+
+    def test_two_of_trio_update_preserves_sc_and_ds(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        outcome = committed(hybrid5, copies, {"A", "C"})
+        assert outcome.accepted
+        assert outcome.metadata.cardinality == 3          # NOT 2
+        assert outcome.metadata.distinguished == ("A", "B", "C")
+        assert outcome.metadata.version == 2
+
+    def test_static_phase_quorum_counts_trio_members_in_p_not_i(self, hybrid5):
+        # After {A,C} update, B is stale; a partition containing stale B
+        # plus current C holds two trio members and is distinguished.
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        committed(hybrid5, copies, {"A", "C"})
+        decision = hybrid5.is_distinguished({"B", "C"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.STATIC_TRIO
+        assert decision.current == frozenset("C")
+
+    def test_one_trio_member_is_not_enough(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        committed(hybrid5, copies, {"A", "C"})
+        assert not hybrid5.is_distinguished({"A", "D", "E"}, copies).granted
+
+    def test_dynamic_and_linear_would_deny_what_the_trio_rule_grants(self):
+        # The paper's point at the BCDE update: neither dynamic voting nor
+        # dynamic-linear permit it, the hybrid does.  Under dynamic-linear
+        # the {A,C} commit sets SC=2 with DS the greater site -- A in the
+        # paper's ordering -- so the claim depends on that ordering.
+        from repro.core import DynamicLinearProtocol, DynamicVotingProtocol
+
+        sites = site_names(5)
+        protocols = [
+            HybridProtocol(sites, order=PAPER_ORDER),
+            DynamicVotingProtocol(sites, order=PAPER_ORDER),
+            DynamicLinearProtocol(sites, order=PAPER_ORDER),
+        ]
+        for protocol in protocols:
+            copies = fresh_copies(protocol)
+            committed(protocol, copies, {"A", "B", "C"})
+            committed(protocol, copies, {"A", "C"})
+            decision = protocol.is_distinguished({"B", "C", "D", "E"}, copies)
+            assert decision.granted == isinstance(protocol, HybridProtocol)
+
+    def test_more_than_two_members_reenters_dynamic_phase(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        committed(hybrid5, copies, {"A", "C"})
+        outcome = committed(hybrid5, copies, {"B", "C", "D", "E"})
+        assert outcome.accepted
+        assert outcome.metadata.cardinality == 4
+        assert not hybrid5.in_static_phase(outcome.metadata)
+
+    def test_three_site_reentry_installs_a_new_trio(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        outcome = committed(hybrid5, copies, {"B", "C", "D"})
+        assert outcome.metadata.distinguished == ("B", "C", "D")
+        assert outcome.metadata.cardinality == 3
+
+    def test_trio_pairs_are_the_only_two_site_quorums(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C"})
+        pairs = ["AB", "AC", "BC", "AD", "BD", "CD", "AE", "CE", "DE"]
+        granted = {
+            pair
+            for pair in pairs
+            if hybrid5.is_distinguished(set(pair), copies).granted
+        }
+        assert granted == {"AB", "AC", "BC"}
+
+
+class TestDynamicPhase:
+    def test_even_commit_records_greatest(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        outcome = committed(hybrid5, copies, {"A", "B", "C", "D"})
+        assert outcome.metadata.distinguished == ("D",)
+
+    def test_linear_tiebreak_applies(self, hybrid5):
+        copies = fresh_copies(hybrid5)
+        committed(hybrid5, copies, {"A", "B", "C", "D"})
+        decision = hybrid5.is_distinguished({"A", "D"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.LINEAR_TIEBREAK
+
+    def test_initial_metadata_matches_n(self):
+        assert HybridProtocol(site_names(3)).initial_metadata().distinguished == (
+            "A", "B", "C",
+        )
+        assert HybridProtocol(site_names(4)).initial_metadata().distinguished == ("D",)
+        assert HybridProtocol(site_names(5)).initial_metadata().distinguished == ()
+
+    def test_three_replica_system_behaves_statically(self):
+        # With n = 3 the hybrid is in its static phase from the start: any
+        # two of the three sites always form the quorum and SC stays 3.
+        protocol = HybridProtocol(site_names(3))
+        copies = fresh_copies(protocol)
+        outcome = committed(protocol, copies, {"A", "B"})
+        assert outcome.metadata.cardinality == 3
+        assert committed(protocol, copies, {"B", "C"}).accepted
+        assert committed(protocol, copies, {"A", "C"}).accepted
+        assert not protocol.is_distinguished({"A"}, copies).granted
+
+
+class TestSectionIVExample:
+    """Line-by-line replay of the paper's worked example."""
+
+    @pytest.fixture
+    def file(self):
+        protocol = HybridProtocol(site_names(5), order=PAPER_ORDER)
+        f = ReplicatedFile(protocol, initial_value="v0")
+        for k in range(1, 10):
+            f.write(f.sites, f"v{k}")
+        return f
+
+    def test_initial_state(self, file):
+        for site in file.sites:
+            assert file.metadata(site).version == 9
+            assert file.metadata(site).cardinality == 5
+
+    def test_step1_abc(self, file):
+        file.write({"A", "B", "C"}, "v10")
+        for site in "ABC":
+            assert file.metadata(site).describe() == "VN=10 SC=3 DS=ABC"
+        for site in "DE":
+            assert file.metadata(site).version == 9
+
+    def test_step2_ac(self, file):
+        file.write({"A", "B", "C"}, "v10")
+        file.write({"A", "C"}, "v11")
+        for site in "AC":
+            assert file.metadata(site).describe() == "VN=11 SC=3 DS=ABC"
+        assert file.metadata("B").version == 10
+
+    def test_step3_bcde(self, file):
+        file.write({"A", "B", "C"}, "v10")
+        file.write({"A", "C"}, "v11")
+        outcome = file.write({"B", "C", "D", "E"}, "v12")
+        assert outcome.decision.rule is Rule.STATIC_TRIO
+        # DS is set to B: with the paper's ordering, B is the greatest of
+        # the four participants.
+        for site in "BCDE":
+            assert file.metadata(site).describe() == "VN=12 SC=4 DS=B"
+        assert file.metadata("A").version == 11
+
+    def test_step4_be(self, file):
+        file.write({"A", "B", "C"}, "v10")
+        file.write({"A", "C"}, "v11")
+        file.write({"B", "C", "D", "E"}, "v12")
+        outcome = file.write({"B", "E"}, "v13")
+        assert outcome.decision.rule is Rule.LINEAR_TIEBREAK
+        for site in "BE":
+            assert file.metadata(site).describe() == "VN=13 SC=2 DS=B"
+        file.check_linear_history()

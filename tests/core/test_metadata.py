@@ -1,0 +1,115 @@
+"""Unit tests for the (VN, SC, DS) metadata record and its helpers."""
+
+import pytest
+
+from repro.core import ReplicaMetadata, current_sites, partition_summary
+from repro.errors import MetadataInvariantError
+
+
+class TestReplicaMetadata:
+    def test_fields(self):
+        meta = ReplicaMetadata(10, 3, ("A", "B", "C"))
+        assert meta.version == 10
+        assert meta.cardinality == 3
+        assert meta.distinguished == ("A", "B", "C")
+
+    def test_distinguished_is_sorted_canonically(self):
+        meta = ReplicaMetadata(1, 3, ("C", "A", "B"))
+        assert meta.distinguished == ("A", "B", "C")
+
+    def test_equal_by_value_regardless_of_ds_order(self):
+        assert ReplicaMetadata(1, 3, ("C", "A", "B")) == ReplicaMetadata(
+            1, 3, ("A", "B", "C")
+        )
+
+    def test_hashable(self):
+        assert len({ReplicaMetadata(1, 2), ReplicaMetadata(1, 2)}) == 1
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            ReplicaMetadata(-1, 3)
+
+    def test_nonpositive_cardinality_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            ReplicaMetadata(0, 0)
+
+    def test_duplicate_distinguished_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            ReplicaMetadata(0, 3, ("A", "A", "B"))
+
+    def test_distinguished_site_singleton(self):
+        assert ReplicaMetadata(0, 2, ("B",)).distinguished_site == "B"
+
+    def test_distinguished_site_requires_singleton(self):
+        with pytest.raises(MetadataInvariantError):
+            ReplicaMetadata(0, 3, ("A", "B", "C")).distinguished_site
+        with pytest.raises(MetadataInvariantError):
+            ReplicaMetadata(0, 3).distinguished_site
+
+    def test_bump_version_preserves_sc_and_ds(self):
+        meta = ReplicaMetadata(11, 3, ("A", "B", "C"))
+        bumped = meta.bump_version()
+        assert bumped.version == 12
+        assert bumped.cardinality == 3
+        assert bumped.distinguished == ("A", "B", "C")
+
+    def test_describe(self):
+        assert ReplicaMetadata(10, 3, ("A", "B", "C")).describe() == "VN=10 SC=3 DS=ABC"
+        assert ReplicaMetadata(9, 5).describe() == "VN=9 SC=5 DS=-"
+
+    def test_immutable(self):
+        meta = ReplicaMetadata(1, 2)
+        with pytest.raises(AttributeError):
+            meta.version = 5
+
+
+class TestCurrentSites:
+    def test_all_fresh(self):
+        copies = {s: ReplicaMetadata(3, 3) for s in "ABC"}
+        assert current_sites(copies) == frozenset("ABC")
+
+    def test_mixed_versions(self):
+        copies = {
+            "A": ReplicaMetadata(3, 2),
+            "B": ReplicaMetadata(5, 2),
+            "C": ReplicaMetadata(5, 2),
+        }
+        assert current_sites(copies) == frozenset("BC")
+
+    def test_within_restricts(self):
+        copies = {
+            "A": ReplicaMetadata(3, 2),
+            "B": ReplicaMetadata(5, 2),
+            "C": ReplicaMetadata(4, 2),
+        }
+        assert current_sites(copies, within={"A", "C"}) == frozenset("C")
+
+    def test_empty_within(self):
+        copies = {"A": ReplicaMetadata(3, 2)}
+        assert current_sites(copies, within=set()) == frozenset()
+
+
+class TestPartitionSummary:
+    def test_summary(self):
+        meta = ReplicaMetadata(7, 4, ("D",))
+        copies = {
+            "A": meta,
+            "B": meta,
+            "C": ReplicaMetadata(2, 5),
+        }
+        version, holders, shared = partition_summary(copies, {"A", "B", "C"})
+        assert version == 7
+        assert holders == frozenset("AB")
+        assert shared == meta
+
+    def test_disagreeing_current_metadata_rejected(self):
+        copies = {
+            "A": ReplicaMetadata(7, 4),
+            "B": ReplicaMetadata(7, 3),
+        }
+        with pytest.raises(MetadataInvariantError):
+            partition_summary(copies, {"A", "B"})
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            partition_summary({}, {"A"})

@@ -1,0 +1,91 @@
+"""Tests for the Gifford read/write quorum split in weighted voting."""
+
+import pytest
+
+from repro.core import ReplicatedFile, WeightedVotingProtocol
+from repro.errors import ProtocolError, QuorumDenied
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+
+
+class TestConfiguration:
+    def test_defaults_are_majorities(self):
+        protocol = WeightedVotingProtocol(site_names(5))
+        assert protocol.write_threshold == 3
+        assert protocol.read_threshold == 3
+
+    def test_read_one_write_all(self):
+        protocol = WeightedVotingProtocol(
+            site_names(3), read_threshold=1, write_threshold=3
+        )
+        assert protocol.read_threshold == 1
+
+    def test_non_intersecting_writes_rejected(self):
+        with pytest.raises(ProtocolError, match="intersecting"):
+            WeightedVotingProtocol(site_names(4), write_threshold=2)
+
+    def test_read_write_overlap_enforced(self):
+        with pytest.raises(ProtocolError, match="r \\+ w"):
+            WeightedVotingProtocol(
+                site_names(5), read_threshold=1, write_threshold=3
+            )
+
+    def test_zero_read_threshold_rejected(self):
+        with pytest.raises(ProtocolError):
+            WeightedVotingProtocol(
+                site_names(1), read_threshold=0, write_threshold=1
+            )
+
+
+class TestSemantics:
+    def test_small_read_quorum_serves_reads_not_writes(self):
+        protocol = WeightedVotingProtocol(
+            site_names(3), read_threshold=1, write_threshold=3
+        )
+        copies = fresh_copies(protocol)
+        assert protocol.read_decision({"A"}, copies).granted
+        assert not protocol.is_distinguished({"A", "B"}, copies).granted
+        assert protocol.is_distinguished({"A", "B", "C"}, copies).granted
+
+    def test_read_quorum_always_sees_the_latest_write(self):
+        # r=2, w=2 over 3 sites: every 2-site read overlaps every 2-site
+        # write, so the max version in any read quorum is the global max.
+        protocol = WeightedVotingProtocol(
+            site_names(3), read_threshold=2, write_threshold=2
+        )
+        file = ReplicatedFile(protocol, initial_value="v0")
+        file.write({"A", "B"}, "v1")
+        file.write({"B", "C"}, "v2")
+        for quorum in ({"A", "B"}, {"B", "C"}, {"A", "C"}):
+            assert file.read(quorum) == "v2"
+
+    def test_default_read_path_unchanged_for_other_protocols(self):
+        from repro.core import HybridProtocol
+
+        protocol = HybridProtocol(site_names(5))
+        file = ReplicatedFile(protocol, initial_value="v0")
+        file.write({"A", "B", "C"}, "v1")
+        with pytest.raises(QuorumDenied):
+            file.read({"D", "E"})
+
+    def test_read_below_threshold_denied(self):
+        protocol = WeightedVotingProtocol(
+            site_names(5), read_threshold=2, write_threshold=4
+        )
+        file = ReplicatedFile(protocol, initial_value="v0")
+        with pytest.raises(QuorumDenied):
+            file.read({"E"})
+        assert file.read({"D", "E"}) == "v0"
+
+    def test_weighted_read_quorums(self):
+        protocol = WeightedVotingProtocol(
+            site_names(3),
+            votes={"A": 2, "B": 1, "C": 1},
+            read_threshold=2,
+            write_threshold=3,
+        )
+        copies = fresh_copies(protocol)
+        assert protocol.read_decision({"A"}, copies).granted  # 2 votes
+        assert not protocol.read_decision({"B"}, copies).granted
+        assert protocol.read_decision({"B", "C"}, copies).granted

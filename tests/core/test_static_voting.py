@@ -1,0 +1,136 @@
+"""Unit tests for the static voting protocol family."""
+
+import pytest
+
+from repro.core import (
+    MajorityVotingProtocol,
+    PrimaryCopyProtocol,
+    PrimarySiteVotingProtocol,
+    Rule,
+    WeightedVotingProtocol,
+)
+from repro.errors import ProtocolError
+from repro.types import site_names
+
+from ..conftest import fresh_copies
+
+
+class TestMajorityVoting:
+    def test_majority_grants(self, voting5):
+        copies = fresh_copies(voting5)
+        decision = voting5.is_distinguished({"A", "B", "C"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.STATIC_MAJORITY
+
+    def test_half_denied_even_n(self):
+        protocol = MajorityVotingProtocol(site_names(4))
+        copies = fresh_copies(protocol)
+        assert not protocol.is_distinguished({"A", "B"}, copies).granted
+
+    def test_minority_denied(self, voting5):
+        copies = fresh_copies(voting5)
+        decision = voting5.is_distinguished({"D", "E"}, copies)
+        assert not decision.granted
+        assert decision.rule is Rule.DENIED
+
+    def test_quorum_ignores_staleness(self, voting5):
+        # Voting counts sites, not versions; a majority with one stale
+        # member is still distinguished (the stale member catches up).
+        copies = fresh_copies(voting5)
+        outcome = voting5.attempt_update({"A", "B", "C"}, copies)
+        copies.update(dict.fromkeys("ABC", outcome.metadata))
+        decision = voting5.is_distinguished({"A", "D", "E"}, copies)
+        assert decision.granted
+        assert decision.current == frozenset("A")
+
+    def test_commit_pins_cardinality_to_n(self, voting5):
+        copies = fresh_copies(voting5)
+        outcome = voting5.attempt_update({"A", "B", "C"}, copies)
+        assert outcome.metadata.cardinality == 5
+        assert outcome.metadata.version == 1
+        assert outcome.metadata.distinguished == ()
+
+    def test_two_disjoint_majorities_impossible(self, voting5):
+        copies = fresh_copies(voting5)
+        granted = [
+            p
+            for p in ({"A", "B", "C"}, {"D", "E"})
+            if voting5.is_distinguished(p, copies).granted
+        ]
+        assert len(granted) == 1
+
+
+class TestWeightedVoting:
+    def test_weighted_quorum(self):
+        protocol = WeightedVotingProtocol(
+            site_names(3), votes={"A": 3, "B": 1, "C": 1}
+        )
+        copies = fresh_copies(protocol)
+        assert protocol.is_distinguished({"A"}, copies).granted
+        assert not protocol.is_distinguished({"B", "C"}, copies).granted
+
+    def test_zero_vote_site_is_a_witnessless_observer(self):
+        protocol = WeightedVotingProtocol(
+            site_names(3), votes={"A": 1, "B": 1, "C": 0}
+        )
+        copies = fresh_copies(protocol)
+        assert protocol.is_distinguished({"A", "B"}, copies).granted
+        assert not protocol.is_distinguished({"A", "C"}, copies).granted
+
+    def test_total_votes(self):
+        protocol = WeightedVotingProtocol(site_names(3), votes={"A": 2})
+        assert protocol.total_votes == 4  # 2 + 1 + 1 defaults
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(ProtocolError):
+            WeightedVotingProtocol(site_names(3), votes={"A": -1})
+
+    def test_votes_for_stranger_rejected(self):
+        with pytest.raises(ProtocolError):
+            WeightedVotingProtocol(site_names(3), votes={"Z": 1})
+
+    def test_all_zero_votes_rejected(self):
+        with pytest.raises(ProtocolError):
+            WeightedVotingProtocol(
+                site_names(2), votes={"A": 0, "B": 0}
+            )
+
+
+class TestPrimarySiteVoting:
+    def test_tie_with_primary_grants(self):
+        protocol = PrimarySiteVotingProtocol(site_names(4), primary="A")
+        copies = fresh_copies(protocol)
+        decision = protocol.is_distinguished({"A", "B"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.PRIMARY_TIEBREAK
+
+    def test_tie_without_primary_denied(self):
+        protocol = PrimarySiteVotingProtocol(site_names(4), primary="A")
+        copies = fresh_copies(protocol)
+        assert not protocol.is_distinguished({"C", "D"}, copies).granted
+
+    def test_majority_does_not_need_primary(self):
+        protocol = PrimarySiteVotingProtocol(site_names(4), primary="A")
+        copies = fresh_copies(protocol)
+        decision = protocol.is_distinguished({"B", "C", "D"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.STATIC_MAJORITY
+
+    def test_default_primary_is_greatest(self):
+        protocol = PrimarySiteVotingProtocol(site_names(4))
+        assert protocol.primary == "D"
+
+    def test_unknown_primary_rejected(self):
+        with pytest.raises(ProtocolError):
+            PrimarySiteVotingProtocol(site_names(4), primary="Z")
+
+
+class TestPrimaryCopy:
+    def test_primary_partition_grants_regardless_of_size(self):
+        protocol = PrimaryCopyProtocol(site_names(5), primary="C")
+        copies = fresh_copies(protocol)
+        assert protocol.is_distinguished({"C"}, copies).granted
+        assert not protocol.is_distinguished({"A", "B", "D", "E"}, copies).granted
+
+    def test_default_primary(self):
+        assert PrimaryCopyProtocol(site_names(3)).primary == "C"

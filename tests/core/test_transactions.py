@@ -1,0 +1,120 @@
+"""Tests for multi-file transactions (footnote 2)."""
+
+import pytest
+
+from repro.core import (
+    DynamicVotingProtocol,
+    HybridProtocol,
+    MajorityVotingProtocol,
+    ReplicatedFile,
+)
+from repro.core.transactions import MultiFileTransaction
+from repro.errors import QuorumDenied
+from repro.types import site_names
+
+
+@pytest.fixture
+def bank():
+    """Two account files on overlapping site groups, different protocols."""
+    checking = ReplicatedFile(
+        HybridProtocol(site_names(5)), initial_value=100
+    )
+    savings = ReplicatedFile(
+        DynamicVotingProtocol(["C", "D", "E", "F", "G"]), initial_value=50
+    )
+    return MultiFileTransaction({"checking": checking, "savings": savings})
+
+
+class TestCommit:
+    def test_transfer_commits_with_quorums_on_both(self, bank):
+        # {C, D, E} intersects both site groups with a majority in each.
+        partition = {"A", "B", "C", "D", "E"}
+        result = bank.execute(
+            partition,
+            writes={"checking": 70, "savings": 80},
+            reads=(),
+        )
+        assert result.committed
+        assert bank.files["checking"].value("C") == 70
+        assert bank.files["savings"].value("D") == 80
+
+    def test_reads_are_served_with_writes(self, bank):
+        partition = {"A", "B", "C", "D", "E"}
+        bank.execute(partition, writes={"checking": 70})
+        result = bank.execute(
+            partition, writes={"savings": 120}, reads=["checking"]
+        )
+        assert result.reads == {"checking": 70}
+
+    def test_versions_advance_only_on_written_files(self, bank):
+        partition = {"A", "B", "C", "D", "E"}
+        bank.execute(partition, writes={"checking": 1}, reads=["savings"])
+        assert bank.files["checking"].current_version() == 1
+        assert bank.files["savings"].current_version() == 0
+
+
+class TestAtomicity:
+    def test_one_missing_quorum_blocks_everything(self, bank):
+        # {A, B, C} is a hybrid quorum for checking, but only C holds
+        # savings -- one of five dynamic-voting copies.
+        partition = {"A", "B", "C"}
+        result = bank.attempt(
+            partition, writes={"checking": 0, "savings": 0}
+        )
+        assert not result.committed
+        assert result.decisions["checking"].granted
+        assert not result.decisions["savings"].granted
+        # Nothing moved:
+        assert bank.files["checking"].value("A") == 100
+        assert bank.files["savings"].value("C") == 50
+
+    def test_execute_raises_with_per_file_diagnosis(self, bank):
+        with pytest.raises(QuorumDenied, match="savings"):
+            bank.execute({"A", "B", "C"}, writes={"checking": 0, "savings": 0})
+
+    def test_read_set_needs_a_quorum_too(self, bank):
+        result = bank.attempt(
+            {"A", "B", "C"}, writes={"checking": 0}, reads=["savings"]
+        )
+        assert not result.committed
+
+    def test_partition_without_any_copy_rejected(self, bank):
+        with pytest.raises(QuorumDenied, match="no site holding"):
+            bank.attempt({"A", "B"}, writes={"savings": 0})
+
+    def test_unknown_file_rejected(self, bank):
+        with pytest.raises(QuorumDenied, match="unknown files"):
+            bank.attempt(site_names(5), writes={"bonds": 1})
+
+    def test_empty_transaction_manager_rejected(self):
+        with pytest.raises(QuorumDenied):
+            MultiFileTransaction({})
+
+
+class TestCrossProtocolInteraction:
+    def test_gifford_read_quorum_applies_inside_transactions(self):
+        from repro.core import WeightedVotingProtocol
+
+        ledger = ReplicatedFile(
+            WeightedVotingProtocol(
+                site_names(3), read_threshold=1, write_threshold=3
+            ),
+            initial_value="L0",
+        )
+        index = ReplicatedFile(
+            MajorityVotingProtocol(site_names(3)), initial_value="I0"
+        )
+        txn = MultiFileTransaction({"ledger": ledger, "index": index})
+        # {A, B}: a read-1 quorum for the ledger, a majority for the index.
+        result = txn.execute({"A", "B"}, writes={"index": "I1"}, reads=["ledger"])
+        assert result.reads == {"ledger": "L0"}
+        # But writing the ledger needs all three sites:
+        denied = txn.attempt({"A", "B"}, writes={"ledger": "L1"})
+        assert not denied.committed
+
+    def test_histories_stay_linear_per_file(self, bank):
+        partition = {"A", "B", "C", "D", "E"}
+        for k in range(5):
+            bank.execute(partition, writes={"checking": k, "savings": k})
+        bank.files["checking"].check_linear_history()
+        bank.files["savings"].check_linear_history()

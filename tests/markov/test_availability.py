@@ -1,0 +1,121 @@
+"""Tests for the unified availability API (numeric/exact/symbolic)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.markov import (
+    ANALYTIC_PROTOCOLS,
+    availability,
+    availability_exact,
+    availability_symbolic,
+    normalized_availability,
+    up_probability,
+)
+
+
+class TestDispatch:
+    def test_all_analytic_protocols_answer(self):
+        for name in ANALYTIC_PROTOCOLS:
+            value = availability(name, 5, 1.0)
+            assert 0.0 < value < 1.0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(AnalysisError):
+            availability("paxos", 5, 1.0)
+
+
+class TestConsistencyAcrossPrecisions:
+    @pytest.mark.parametrize("name", ANALYTIC_PROTOCOLS)
+    def test_exact_equals_numeric(self, name):
+        for ratio in (Fraction(1, 2), Fraction(3), Fraction(10)):
+            exact = availability_exact(name, 5, ratio)
+            numeric = availability(name, 5, float(ratio))
+            assert float(exact) == pytest.approx(numeric, abs=1e-9)
+
+    @pytest.mark.parametrize("name", ["voting", "dynamic", "hybrid", "primary-copy"])
+    def test_symbolic_equals_exact(self, name):
+        f = availability_symbolic(name, 4)
+        for ratio in (Fraction(1, 3), Fraction(2), Fraction(7)):
+            assert f(ratio) == availability_exact(name, 4, ratio)
+
+    def test_symbolic_static_forms(self):
+        # voting n=1 is r/(1+r).
+        from repro.ratfunc import RationalFunction, X
+
+        assert availability_symbolic("voting", 1) == RationalFunction(X, X + 1)
+
+
+class TestShapes:
+    def test_availability_increases_with_ratio(self):
+        for name in ANALYTIC_PROTOCOLS:
+            values = [availability(name, 5, r) for r in (0.2, 0.5, 1, 2, 5, 20)]
+            assert values == sorted(values), name
+
+    def test_availability_bounded_by_up_probability(self):
+        # No algorithm beats P(the arrival site is up).
+        for name in ANALYTIC_PROTOCOLS:
+            for ratio in (0.5, 2.0, 10.0):
+                assert availability(name, 5, ratio) <= up_probability(ratio) + 1e-12
+
+    def test_high_ratio_approaches_up_probability(self):
+        for name in ("voting", "dynamic", "dynamic-linear", "hybrid"):
+            ratio = 200.0
+            assert availability(name, 5, ratio) == pytest.approx(
+                up_probability(ratio), abs=1e-3
+            )
+
+    def test_theorem2_hybrid_beats_dynamic(self):
+        for n in (3, 5, 8, 12):
+            for ratio in (0.2, 1.0, 5.0):
+                assert availability("hybrid", n, ratio) > availability(
+                    "dynamic", n, ratio
+                )
+
+    def test_voting_beats_dynamic_at_three_sites(self):
+        # The paper: with exactly three sites ordinary voting has greater
+        # availability than dynamic voting (for reasonable ratios).
+        for ratio in (1.0, 2.0, 5.0):
+            assert availability("voting", 3, ratio) > availability(
+                "dynamic", 3, ratio
+            )
+
+    def test_dynamic_linear_beats_voting_at_four_plus_sites(self):
+        for n in (4, 5, 7):
+            for ratio in (1.0, 3.0):
+                assert availability("dynamic-linear", n, ratio) > availability(
+                    "voting", n, ratio
+                )
+
+    def test_hybrid_equals_voting_for_three_sites(self):
+        # With n = 3 the hybrid *is* static two-of-three voting (its trio
+        # is the whole site set), so their availabilities coincide.
+        for ratio in (Fraction(1, 2), Fraction(2), Fraction(9)):
+            assert availability_exact("hybrid", 3, ratio) == availability_exact(
+                "voting", 3, ratio
+            )
+
+    def test_primary_copy_trails_voting_at_reasonable_ratios(self):
+        # (At very small ratios the relation flips: when most sites are
+        # down, needing one specific site beats needing three of five.)
+        for ratio in (1.0, 2.0, 4.0, 10.0):
+            assert availability("primary-copy", 5, ratio) < availability(
+                "voting", 5, ratio
+            )
+
+
+class TestNormalised:
+    def test_normalisation(self):
+        value = availability("hybrid", 5, 2.0)
+        assert normalized_availability("hybrid", 5, 2.0) == pytest.approx(
+            value / (2.0 / 3.0)
+        )
+
+    def test_normalised_at_most_one(self):
+        for name in ("voting", "dynamic", "dynamic-linear", "hybrid"):
+            for ratio in (0.3, 1.0, 5.0):
+                assert normalized_availability(name, 5, ratio) <= 1.0 + 1e-12
+
+    def test_up_probability_exact(self):
+        assert up_probability(Fraction(3)) == Fraction(3, 4)

@@ -1,0 +1,148 @@
+"""Unit tests for the ChainSpec CTMC machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ChainError
+from repro.markov import Arc, ChainSpec
+
+
+def two_state(ratio_weighted=True):
+    """Up/down single-site chain: up --lambda--> down --mu--> up."""
+    weights = {"up": Fraction(1)} if ratio_weighted else {}
+    return ChainSpec(
+        "two-state",
+        ["up", "down"],
+        [Arc("up", "down", failures=1), Arc("down", "up", repairs=1)],
+        weights,
+    )
+
+
+class TestValidation:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ChainError):
+            ChainSpec("bad", ["a", "a"], [Arc("a", "a", failures=1)], {})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ChainError):
+            Arc("a", "a", failures=1)
+
+    def test_zero_rate_arc_rejected(self):
+        with pytest.raises(ChainError):
+            Arc("a", "b")
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ChainError):
+            Arc("a", "b", failures=-1)
+
+    def test_unknown_state_in_arc_rejected(self):
+        with pytest.raises(ChainError):
+            ChainSpec("bad", ["a"], [Arc("a", "b", failures=1)], {})
+
+    def test_disconnected_chain_rejected(self):
+        with pytest.raises(ChainError, match="irreducible"):
+            ChainSpec(
+                "bad",
+                ["a", "b", "c"],
+                [Arc("a", "b", failures=1), Arc("b", "a", repairs=1)],
+                {},
+            )
+
+    def test_one_way_chain_rejected(self):
+        with pytest.raises(ChainError, match="irreducible"):
+            ChainSpec(
+                "bad",
+                ["a", "b"],
+                [Arc("a", "b", failures=1)],
+                {},
+            )
+
+    def test_out_of_range_weight_rejected(self):
+        with pytest.raises(ChainError):
+            ChainSpec(
+                "bad",
+                ["a", "b"],
+                [Arc("a", "b", failures=1), Arc("b", "a", repairs=1)],
+                {"a": Fraction(2)},
+            )
+
+    def test_parallel_arcs_merge(self):
+        chain = ChainSpec(
+            "merge",
+            ["a", "b"],
+            [
+                Arc("a", "b", failures=1),
+                Arc("a", "b", repairs=2),
+                Arc("b", "a", repairs=1),
+            ],
+            {},
+        )
+        assert chain.rate("a", "b") == (1, 2)
+
+
+class TestSteadyState:
+    def test_two_state_closed_form(self):
+        chain = two_state()
+        # pi(up) = mu / (lambda + mu) = r / (1 + r).
+        for ratio in (0.5, 1.0, 4.0):
+            pi = chain.steady_state(ratio)
+            assert pi["up"] == pytest.approx(ratio / (1 + ratio))
+            assert pi["down"] == pytest.approx(1 / (1 + ratio))
+
+    def test_probabilities_sum_to_one(self):
+        chain = two_state()
+        pi = chain.steady_state(2.7)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_exact_matches_numeric(self):
+        chain = two_state()
+        exact = chain.steady_state_exact(Fraction(3, 2))
+        numeric = chain.steady_state(1.5)
+        for state in chain.states:
+            assert float(exact[state]) == pytest.approx(numeric[state], abs=1e-12)
+
+    def test_exact_is_exact(self):
+        chain = two_state()
+        exact = chain.steady_state_exact(Fraction(1, 3))
+        assert exact["up"] == Fraction(1, 4)
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ChainError):
+            two_state().steady_state(0.0)
+
+    def test_symbolic_matches_exact(self):
+        chain = two_state()
+        symbolic = chain.steady_state_symbolic()
+        for ratio in (Fraction(1, 2), Fraction(5)):
+            for state in chain.states:
+                assert symbolic[state](ratio) == chain.steady_state_exact(ratio)[state]
+
+
+class TestAvailability:
+    def test_two_state_availability_is_up_probability(self):
+        chain = two_state()
+        assert chain.availability(3.0) == pytest.approx(0.75)
+
+    def test_availability_exact(self):
+        chain = two_state()
+        assert chain.availability_exact(Fraction(3)) == Fraction(3, 4)
+
+    def test_availability_symbolic(self):
+        chain = two_state()
+        f = chain.availability_symbolic()
+        assert f(Fraction(3)) == Fraction(3, 4)
+        # r / (1 + r) exactly:
+        from repro.ratfunc import RationalFunction, X
+
+        assert f == RationalFunction(X, X + 1)
+
+    def test_unweighted_chain_has_zero_availability(self):
+        chain = two_state(ratio_weighted=False)
+        assert chain.availability(1.0) == 0.0
+
+    def test_generator_rows_sum_to_zero(self):
+        import numpy as np
+
+        q = two_state().generator_matrix(1.0, 2.0)
+        assert np.allclose(q.sum(axis=1), 0.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the heterogeneous-rate analysis."""
+
+import random
+
+import pytest
+
+from repro.core import make_protocol
+from repro.errors import ChainError
+from repro.markov import availability, heterogeneous_availability
+from repro.sim import (
+    AvailabilityAccumulator,
+    FailureRepairSampler,
+    PerSiteRates,
+    Rates,
+    StochasticReplicaSystem,
+)
+from repro.types import site_names
+
+
+def uniform(sites, value):
+    return dict.fromkeys(sites, value)
+
+
+class TestReductionToHomogeneous:
+    @pytest.mark.parametrize("name", ["voting", "dynamic", "dynamic-linear", "hybrid"])
+    def test_uniform_rates_match_the_chains(self, name):
+        protocol = make_protocol(name, site_names(4))
+        for ratio in (0.5, 2.0):
+            value = heterogeneous_availability(
+                protocol,
+                uniform(protocol.sites, 1.0),
+                uniform(protocol.sites, ratio),
+            )
+            assert value == pytest.approx(availability(name, 4, ratio), abs=1e-10)
+
+    def test_scale_invariance(self):
+        # Only the ratio matters: doubling both rates changes nothing.
+        protocol = make_protocol("hybrid", site_names(4))
+        a = heterogeneous_availability(
+            protocol, uniform(protocol.sites, 1.0), uniform(protocol.sites, 2.0)
+        )
+        b = heterogeneous_availability(
+            protocol, uniform(protocol.sites, 3.0), uniform(protocol.sites, 6.0)
+        )
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestAsymmetry:
+    def test_flaky_site_reduces_availability(self):
+        protocol = make_protocol("hybrid", site_names(4))
+        base = heterogeneous_availability(
+            protocol, uniform(protocol.sites, 1.0), uniform(protocol.sites, 2.0)
+        )
+        flaky = heterogeneous_availability(
+            protocol,
+            dict(uniform(protocol.sites, 1.0), A=8.0),
+            uniform(protocol.sites, 2.0),
+        )
+        assert flaky < base
+
+    def test_fast_repair_site_increases_availability(self):
+        protocol = make_protocol("dynamic", site_names(4))
+        base = heterogeneous_availability(
+            protocol, uniform(protocol.sites, 1.0), uniform(protocol.sites, 2.0)
+        )
+        golden = heterogeneous_availability(
+            protocol,
+            uniform(protocol.sites, 1.0),
+            dict(uniform(protocol.sites, 2.0), A=10.0),
+        )
+        assert golden > base
+
+    def test_missing_rates_rejected(self):
+        protocol = make_protocol("hybrid", site_names(3))
+        with pytest.raises(ChainError):
+            heterogeneous_availability(protocol, {"A": 1.0}, {"A": 1.0})
+
+    def test_nonpositive_rates_rejected(self):
+        protocol = make_protocol("hybrid", site_names(3))
+        with pytest.raises(ChainError):
+            heterogeneous_availability(
+                protocol,
+                uniform(protocol.sites, 0.0),
+                uniform(protocol.sites, 1.0),
+            )
+
+    def test_montecarlo_cross_check(self):
+        # The site-labelled chain vs a heterogeneous simulation run.
+        sites = site_names(3)
+        protocol = make_protocol("dynamic", sites)
+        fail = {"A": 2.0, "B": 1.0, "C": 1.0}
+        repair = {"A": 2.0, "B": 3.0, "C": 3.0}
+        analytic = heterogeneous_availability(protocol, fail, repair)
+        per_site = PerSiteRates(fail, repair)
+        system = StochasticReplicaSystem(protocol, per_site, random.Random(5))
+        estimate = AvailabilityAccumulator(system).run(60_000)
+        assert estimate == pytest.approx(analytic, abs=0.02)
+
+
+class TestPerSiteRates:
+    def test_homogeneous_constructor(self):
+        rates = PerSiteRates.homogeneous(site_names(2), Rates(1.0, 3.0))
+        assert rates.failure == {"A": 1.0, "B": 1.0}
+        assert rates.up_probability("A") == 0.75
+
+    def test_sampler_respects_per_site_rates(self):
+        # With an enormous failure rate at A, A is down most of the time.
+        rates = PerSiteRates(
+            {"A": 50.0, "B": 1.0}, {"A": 1.0, "B": 1.0}
+        )
+        sampler = FailureRepairSampler(site_names(2), rates, random.Random(3))
+        down_a = 0.0
+        last = 0.0
+        for _ in range(20_000):
+            a_up = "A" in sampler.up
+            event = sampler.next_event()
+            if not a_up:
+                down_a += event.time - last
+            last = event.time
+        # P(A down) should be about 50/51.
+        assert down_a / last == pytest.approx(50 / 51, abs=0.03)

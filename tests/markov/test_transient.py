@@ -1,0 +1,100 @@
+"""Tests for the transient (finite-horizon) chain analysis."""
+
+import pytest
+
+from repro.errors import ChainError
+from repro.markov import (
+    availability,
+    chain_for,
+    expected_blocked_fraction,
+    mean_time_to_blocking,
+    transient_availability,
+    up_probability,
+)
+
+
+class TestTransientAvailability:
+    def test_starts_at_one(self):
+        chain = chain_for("hybrid", 5)
+        assert transient_availability(chain, 1.0, [0.0]) == [1.0]
+
+    def test_converges_to_steady_state(self):
+        chain = chain_for("dynamic", 5)
+        (value,) = transient_availability(chain, 1.0, [200.0])
+        assert value == pytest.approx(availability("dynamic", 5, 1.0), abs=1e-9)
+
+    def test_monotone_decay_from_healthy_start(self):
+        chain = chain_for("hybrid", 5)
+        values = transient_availability(chain, 1.0, [0.0, 0.5, 1.0, 2.0, 5.0])
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_time_rejected(self):
+        chain = chain_for("voting", 3)
+        with pytest.raises(ChainError):
+            transient_availability(chain, 1.0, [-1.0])
+
+    def test_nonpositive_ratio_rejected(self):
+        chain = chain_for("voting", 3)
+        with pytest.raises(ChainError):
+            transient_availability(chain, 0.0, [1.0])
+
+
+class TestMeanTimeToBlocking:
+    def test_identical_ladders_for_hybrid_and_dynamic(self):
+        # Until the first blocked state, the hybrid's available states form
+        # the same birth-death ladder as dynamic voting's (A_2..A_n with
+        # identical rates), so their first-passage times coincide exactly:
+        # the hybrid's advantage is recovery, not endurance.
+        for n in (4, 5, 8):
+            for ratio in (0.5, 1.0, 3.0):
+                assert mean_time_to_blocking(
+                    chain_for("hybrid", n), ratio
+                ) == pytest.approx(
+                    mean_time_to_blocking(chain_for("dynamic", n), ratio),
+                    rel=1e-9,
+                )
+
+    def test_dynamic_linear_endures_longest(self):
+        for ratio in (0.5, 1.0, 2.0):
+            linear = mean_time_to_blocking(chain_for("dynamic-linear", 5), ratio)
+            hybrid = mean_time_to_blocking(chain_for("hybrid", 5), ratio)
+            voting = mean_time_to_blocking(chain_for("voting", 5), ratio)
+            assert linear > hybrid > voting
+
+    def test_longer_with_faster_repairs(self):
+        chain = chain_for("hybrid", 5)
+        assert mean_time_to_blocking(chain, 5.0) > mean_time_to_blocking(chain, 0.5)
+
+    def test_single_site_closed_form(self):
+        # voting over 1 site: available until the site fails: MTTB = 1/lam.
+        chain = chain_for("voting", 1)
+        assert mean_time_to_blocking(chain, 1.0) == pytest.approx(1.0)
+
+
+class TestBlockedFraction:
+    def test_complement_of_traditional_availability(self):
+        # For voting the traditional measure has a closed binomial form.
+        from repro.quorums import majority_availability, uniform_up_probability
+
+        chain = chain_for("voting", 5)
+        for ratio in (0.5, 2.0):
+            blocked = expected_blocked_fraction(chain, ratio)
+            traditional = majority_availability(
+                5, uniform_up_probability(ratio), measure="traditional"
+            )
+            assert blocked == pytest.approx(1.0 - traditional, abs=1e-9)
+
+    def test_hybrid_blocks_less_than_dynamic(self):
+        for ratio in (0.5, 1.0, 3.0):
+            assert expected_blocked_fraction(
+                chain_for("hybrid", 5), ratio
+            ) < expected_blocked_fraction(chain_for("dynamic", 5), ratio)
+
+    def test_blocked_plus_site_measure_bounds(self):
+        # site availability <= 1 - blocked fraction (being unblocked is
+        # necessary but the arrival site must also be up).
+        chain = chain_for("hybrid", 5)
+        for ratio in (0.5, 2.0):
+            assert availability("hybrid", 5, ratio) <= 1 - expected_blocked_fraction(
+                chain, ratio
+            ) + 1e-12

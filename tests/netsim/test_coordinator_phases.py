@@ -1,0 +1,141 @@
+"""Unit tests for the coordinator's individual phases and timeouts."""
+
+import pytest
+
+from repro.core import HybridProtocol
+from repro.errors import SimulationError
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.types import site_names
+
+
+def cluster_of(**kwargs):
+    return ReplicaCluster(
+        HybridProtocol(site_names(5)), initial_value="v0", **kwargs
+    )
+
+
+class TestLockPhase:
+    def test_lock_timeout_when_holder_never_releases(self):
+        cluster = cluster_of()
+        # Occupy A's lock manager out-of-band so the run can never start.
+        cluster.node("A").locks.request(999_999, lambda: None)
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.TIMED_OUT
+        assert "lock" in run.reason
+
+    def test_queued_run_proceeds_once_lock_frees(self):
+        cluster = cluster_of()
+        blocker_id = 999_998
+        cluster.node("A").locks.request(blocker_id, lambda: None)
+        run = cluster.submit_update("A", "v1")
+        # Release the blocker before the timeout fires.
+        cluster.run_for(cluster.lock_timeout / 2)
+        cluster.node("A").locks.release(blocker_id)
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+
+    def test_double_start_rejected_mid_run(self):
+        cluster = cluster_of()
+        run = cluster.submit_update("A", "v1")
+        cluster.run_for(cluster.network.latency / 4)  # locking/voting now
+        assert not run.finished
+        with pytest.raises(SimulationError):
+            run.start()
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+
+    def test_start_after_prestart_death_is_a_noop(self):
+        cluster = cluster_of()
+        run = cluster.submit_update("A", "v1")
+        cluster.fail_site("A")  # kills the run before its start callback
+        assert run.status is RunStatus.FAILED
+        run.start()  # must not raise
+        assert run.status is RunStatus.FAILED
+
+
+class TestVotePhase:
+    def test_late_votes_are_ignored(self):
+        # Slow down the far side by cutting it off during the vote window;
+        # the coordinator decides with whoever answered.
+        cluster = cluster_of()
+        run = cluster.submit_update("A", "v1")
+        cluster.run_for(cluster.vote_window / 8)
+        for other in ("D", "E"):
+            cluster.fail_link("A", other)
+            cluster.fail_link("B", other)
+            cluster.fail_link("C", other)
+        cluster.fail_link("D", "E")
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        assert run.participants >= frozenset("ABC")
+
+    def test_decision_recorded_on_denial(self):
+        cluster = cluster_of()
+        for other in "BCDE":
+            cluster.fail_site(other)
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.DENIED
+        assert run.decision is not None
+        assert not run.decision.granted
+
+
+class TestCatchUpPhase:
+    def split(self, cluster, left, right):
+        for a in left:
+            for b in right:
+                cluster.fail_link(a, b)
+
+    def make_stale_coordinator(self, cluster):
+        """Commit v1 in {A,B,C}; D is stale afterwards."""
+        self.split(cluster, "ABC", "DE")
+        first = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert first.status is RunStatus.COMMITTED
+        for a in "ABC":
+            for b in "DE":
+                cluster.repair_link(a, b)
+
+    def test_stale_coordinator_fetches_before_commit(self):
+        cluster = cluster_of()
+        self.make_stale_coordinator(cluster)
+        run = cluster.submit_update("D", "v2")
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        # D committed on top of v1: its history carries both versions.
+        versions = [a.version for a in cluster.node("D").history]
+        assert versions[-1] == run.decision.max_version + 1
+
+    def test_catch_up_timeout_aborts(self):
+        cluster = cluster_of()
+        self.make_stale_coordinator(cluster)
+        run = cluster.submit_update("D", "v2")
+        # Let the votes arrive, then isolate D completely (a partial cut
+        # would leave an indirect route through E) before the catch-up
+        # reply can return.
+        cluster.run_for(cluster.vote_window + cluster.network.latency / 2)
+        for other in "ABCE":
+            cluster.fail_link("D", other)
+        cluster.settle()
+        assert run.status in (RunStatus.TIMED_OUT, RunStatus.DENIED)
+        cluster.check_consistency()
+
+    def test_read_from_stale_coordinator_serves_current_value(self):
+        cluster = cluster_of()
+        self.make_stale_coordinator(cluster)
+        read = cluster.submit_read("D")
+        cluster.settle()
+        assert read.status is RunStatus.COMPLETED
+        assert read.result == "v1"
+        # Reads leave D's copy untouched (footnote 5).
+        assert cluster.node("D").metadata.version in (0, 1)
+
+
+class TestDescribe:
+    def test_describe_mentions_kind_and_status(self):
+        cluster = cluster_of()
+        run = cluster.submit_read("A")
+        cluster.settle()
+        text = run.describe()
+        assert "[read]" in text and "completed" in text

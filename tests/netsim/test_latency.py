@@ -1,0 +1,62 @@
+"""Tests for per-run latency accounting."""
+
+import pytest
+
+from repro.core import HybridProtocol
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.types import site_names
+
+
+class TestRunLatency:
+    def test_committed_run_latency_is_protocol_rounds(self):
+        cluster = ReplicaCluster(
+            HybridProtocol(site_names(5)), initial_value=0, latency=0.01
+        )
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        # one vote round closes at the vote window (4 x latency), commit is
+        # local at that instant: latency == vote_window.
+        assert run.latency == pytest.approx(cluster.vote_window, abs=1e-9)
+
+    def test_catch_up_adds_a_round_trip(self):
+        cluster = ReplicaCluster(
+            HybridProtocol(site_names(5)), initial_value=0, latency=0.01
+        )
+        for a in "ABC":
+            for b in "DE":
+                cluster.fail_link(a, b)
+        cluster.submit_update("A", "v1")
+        cluster.settle()
+        for a in "ABC":
+            for b in "DE":
+                cluster.repair_link(a, b)
+        stale = cluster.submit_update("D", "v2")
+        cluster.settle()
+        assert stale.status is RunStatus.COMMITTED
+        expected = cluster.vote_window + 2 * cluster.network.latency
+        assert stale.latency == pytest.approx(expected, abs=1e-9)
+
+    def test_pending_run_has_no_latency(self):
+        cluster = ReplicaCluster(HybridProtocol(site_names(3)), initial_value=0)
+        run = cluster.submit_update("A", "v1")
+        assert run.latency is None
+        cluster.settle()
+        assert run.latency is not None
+
+    def test_latency_summary_aggregates_commits_only(self):
+        cluster = ReplicaCluster(HybridProtocol(site_names(3)), initial_value=0)
+        for k in range(3):
+            cluster.submit_update("A", k)
+            cluster.settle()
+        cluster.fail_site("B")
+        cluster.fail_site("C")
+        denied = cluster.submit_update("A", "x")
+        cluster.settle()
+        assert denied.status is RunStatus.DENIED
+        summary = cluster.latency_summary()
+        assert summary["count"] == 3.0
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_empty_summary(self):
+        cluster = ReplicaCluster(HybridProtocol(site_names(3)), initial_value=0)
+        assert cluster.latency_summary() == {}

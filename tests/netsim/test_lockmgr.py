@@ -1,0 +1,80 @@
+"""Unit tests for the per-site lock manager."""
+
+import pytest
+
+from repro.errors import LockError
+from repro.netsim import LockManager
+
+
+class TestGrantOrder:
+    def test_free_lock_granted_immediately(self):
+        manager = LockManager("A")
+        granted = []
+        manager.request(1, lambda: granted.append(1))
+        assert granted == [1]
+        assert manager.holder == 1
+
+    def test_fifo_queueing(self):
+        manager = LockManager("A")
+        granted = []
+        manager.request(1, lambda: granted.append(1))
+        manager.request(2, lambda: granted.append(2))
+        manager.request(3, lambda: granted.append(3))
+        assert granted == [1]
+        manager.release(1)
+        assert granted == [1, 2]
+        manager.release(2)
+        assert granted == [1, 2, 3]
+
+    def test_reentrant_request_rejected(self):
+        manager = LockManager("A")
+        manager.request(1, lambda: None)
+        with pytest.raises(LockError):
+            manager.request(1, lambda: None)
+
+    def test_duplicate_waiting_request_rejected(self):
+        manager = LockManager("A")
+        manager.request(1, lambda: None)
+        manager.request(2, lambda: None)
+        with pytest.raises(LockError):
+            manager.request(2, lambda: None)
+
+
+class TestRelease:
+    def test_release_unknown_run_rejected(self):
+        manager = LockManager("A")
+        with pytest.raises(LockError):
+            manager.release(9)
+
+    def test_withdraw_queued_request(self):
+        manager = LockManager("A")
+        granted = []
+        manager.request(1, lambda: granted.append(1))
+        manager.request(2, lambda: granted.append(2))
+        manager.release(2)  # withdraw before grant
+        manager.release(1)
+        assert granted == [1]
+        assert manager.holder is None
+
+    def test_release_if_involved_is_silent(self):
+        manager = LockManager("A")
+        manager.release_if_involved(42)  # no error
+
+    def test_waiting_runs_listed_in_order(self):
+        manager = LockManager("A")
+        manager.request(1, lambda: None)
+        manager.request(2, lambda: None)
+        manager.request(3, lambda: None)
+        assert manager.waiting_runs() == (2, 3)
+
+
+class TestFailure:
+    def test_clear_drops_everything_without_granting(self):
+        manager = LockManager("A")
+        granted = []
+        manager.request(1, lambda: granted.append(1))
+        manager.request(2, lambda: granted.append(2))
+        manager.clear()
+        assert manager.holder is None
+        assert manager.waiting_runs() == ()
+        assert granted == [1]  # run 2 was never granted

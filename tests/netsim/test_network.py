@@ -1,0 +1,114 @@
+"""Unit tests for the message network (latency, loss under partition)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import MessageNetwork, VoteRequest
+from repro.sim import Simulator, Topology
+from repro.types import site_names
+
+
+def make_network(n=3, latency=0.01):
+    sim = Simulator()
+    topo = Topology(site_names(n))
+    network = MessageNetwork(sim, topo, latency)
+    inboxes = {s: [] for s in site_names(n)}
+    for s in site_names(n):
+        network.register(s, lambda sender, msg, s=s: inboxes[s].append((sender, msg)))
+    return sim, topo, network, inboxes
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        assert inboxes["B"] == []
+        sim.run()
+        assert len(inboxes["B"]) == 1
+        assert sim.now == pytest.approx(0.01)
+
+    def test_sender_identity_passed(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        sim.run()
+        sender, message = inboxes["B"][0]
+        assert sender == "A"
+        assert message.run_id == 1
+
+    def test_fifo_between_pair(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        network.send("A", "B", VoteRequest(2, "A"))
+        sim.run()
+        assert [m.run_id for _, m in inboxes["B"]] == [1, 2]
+
+    def test_broadcast(self):
+        sim, topo, network, inboxes = make_network()
+        network.broadcast("A", ["B", "C"], lambda d: VoteRequest(1, "A"))
+        sim.run()
+        assert len(inboxes["B"]) == 1 and len(inboxes["C"]) == 1
+
+
+class TestLoss:
+    def test_lost_when_destination_fails_in_flight(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        topo.fail_site("B")
+        sim.run()
+        assert inboxes["B"] == []
+        assert network.statistics["lost"] == 1
+
+    def test_lost_when_sender_fails_in_flight(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        topo.fail_site("A")
+        sim.run()
+        assert inboxes["B"] == []
+
+    def test_lost_when_partition_separates_in_flight(self):
+        sim, topo, network, inboxes = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        topo.fail_link("A", "B")
+        topo.fail_link("A", "C")  # isolate A completely
+        sim.run()
+        assert inboxes["B"] == []
+
+    def test_delivered_within_partition(self):
+        sim, topo, network, inboxes = make_network()
+        topo.fail_link("A", "C")
+        network.send("A", "B", VoteRequest(1, "A"))
+        sim.run()
+        assert len(inboxes["B"]) == 1
+
+    def test_indirect_connectivity_counts(self):
+        # A-B and B-C up, A-C down: A and C are still one partition.
+        sim, topo, network, inboxes = make_network()
+        topo.fail_link("A", "C")
+        network.send("A", "C", VoteRequest(1, "A"))
+        sim.run()
+        assert len(inboxes["C"]) == 1
+
+
+class TestValidation:
+    def test_down_sender_rejected(self):
+        sim, topo, network, _ = make_network()
+        topo.fail_site("A")
+        with pytest.raises(NetworkError):
+            network.send("A", "B", VoteRequest(1, "A"))
+
+    def test_unknown_destination_rejected(self):
+        sim, topo, network, _ = make_network()
+        with pytest.raises(NetworkError):
+            network.send("A", "Z", VoteRequest(1, "A"))
+
+    def test_nonpositive_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            MessageNetwork(sim, Topology(site_names(2)), latency=0.0)
+
+    def test_statistics(self):
+        sim, topo, network, _ = make_network()
+        network.send("A", "B", VoteRequest(1, "A"))
+        sim.run()
+        stats = network.statistics
+        assert stats == {"sent": 1, "delivered": 1, "lost": 0}

@@ -1,0 +1,113 @@
+"""Tests for the termination protocol: in-doubt blocking and resolution.
+
+These are the scenarios the paper waves at standard treatments (commit
+protocols interrupted by failures); the cluster must stay safe -- never
+fork -- and eventually live once partitions heal.
+"""
+
+from repro.core import DynamicVotingProtocol, HybridProtocol
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.types import site_names
+
+
+def cluster_of(protocol_cls=HybridProtocol, n=5, **kwargs):
+    return ReplicaCluster(protocol_cls(site_names(n)), initial_value="v0", **kwargs)
+
+
+class TestInDoubtResolution:
+    def test_commit_reaches_subordinate_through_decision_request(self):
+        # B votes, then gets separated before the commit arrives: the
+        # commit message is lost, B blocks in doubt.  When the partition
+        # heals, B's periodic DecisionRequest fetches the outcome.
+        cluster = cluster_of()
+        run = cluster.submit_update("A", "v1")
+        # Let the votes flow but cut B off before the commit returns:
+        cluster.run_for(cluster.vote_window - 0.001)
+        for other in "ACDE":
+            cluster.fail_link("B", other)
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        assert cluster.node("B").metadata.version == 0  # missed the commit
+        assert cluster.node("B").locks.holder is not None  # in doubt
+        for other in "ACDE":
+            cluster.repair_link("B", other)
+        cluster.run_for(cluster.termination_timeout * 3)
+        assert cluster.node("B").metadata.version == 1  # resolved
+        assert cluster.node("B").locks.holder is None
+        cluster.check_consistency()
+
+    def test_abort_resolved_by_presumed_abort(self):
+        # E votes for a coordinator whose quorum then fails: coordinator
+        # aborts, but the abort to E is lost.  E later asks and hears the
+        # presumed-abort answer.
+        cluster = cluster_of()
+        for a in "AB":
+            for b in "CD":
+                cluster.fail_link(a, b)
+        for b in "CD":
+            cluster.fail_link("E", b)
+        # A can reach B and E: three of five... that's a quorum for the
+        # fresh file.  Cut E off mid-protocol instead.
+        run = cluster.submit_update("A", "v1")
+        cluster.run_for(cluster.vote_window - 0.001)
+        cluster.fail_link("A", "E")
+        cluster.fail_link("B", "E")
+        cluster.settle()
+        # Whatever the outcome for the coordinator, E must not stay locked
+        # after the partition heals.
+        cluster.repair_link("A", "E")
+        cluster.repair_link("B", "E")
+        cluster.run_for(cluster.termination_timeout * 3)
+        assert cluster.node("E").locks.holder is None
+        cluster.check_consistency()
+
+    def test_coordinator_crash_leaves_subordinates_blocked_until_repair(self):
+        cluster = cluster_of()
+        run = cluster.submit_update("A", "v1")
+        cluster.run_for(cluster.vote_window - 0.001)  # votes are in
+        cluster.fail_site("A")
+        cluster.run_for(cluster.termination_timeout * 2)
+        # Subordinates hold their locks: 2PC blocking, by design.
+        blocked = [s for s in "BCDE" if cluster.node(s).locks.holder is not None]
+        assert blocked
+        cluster.repair_site("A", run_restart=False)
+        cluster.run_for(cluster.termination_timeout * 3)
+        assert all(cluster.node(s).locks.holder is None for s in "BCDE")
+        cluster.check_consistency()
+
+    def test_no_fork_when_commit_is_partially_delivered(self):
+        # The classic hazard: the coordinator commits, some commit
+        # messages are lost, and the leftover sites later try to form
+        # their own quorum.  The metadata rules must block them.
+        cluster = cluster_of(DynamicVotingProtocol)
+        run = cluster.submit_update("A", "v1")
+        cluster.run_for(cluster.vote_window + 0.001)  # decision instant
+        # Immediately isolate D and E so their commit copies are lost.
+        for a in "ABC":
+            for b in "DE":
+                cluster.fail_link(a, b)
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        # D/E blocked in doubt; whatever they try must be denied.
+        probe = cluster.submit_update("D", "fork!")
+        cluster.settle()
+        assert probe.status in (RunStatus.DENIED, RunStatus.TIMED_OUT)
+        cluster.check_consistency()
+
+
+class TestDeadlockBreaking:
+    def test_crossed_coordinators_resolve_by_timeout(self):
+        # A and B start simultaneously: each holds its own lock and queues
+        # at the other.  The lock/vote timeouts must untangle them and the
+        # cluster must make progress afterwards.
+        cluster = cluster_of()
+        run_a = cluster.submit_update("A", "from-A")
+        run_b = cluster.submit_update("B", "from-B")
+        cluster.settle()
+        assert {run_a.status, run_b.status} <= {
+            RunStatus.COMMITTED, RunStatus.DENIED, RunStatus.TIMED_OUT
+        }
+        follow_up = cluster.submit_update("C", "afterwards")
+        cluster.settle()
+        assert follow_up.status is RunStatus.COMMITTED
+        cluster.check_consistency()

@@ -1,0 +1,112 @@
+"""Cluster behaviour on non-complete link topologies (rings, stars).
+
+The paper's model assumes any two up sites can talk; the protocol itself
+only needs *some* path.  These tests run the full message protocol over
+sparse physical topologies where single failures create real partitions.
+"""
+
+from repro.core import DynamicVotingProtocol, HybridProtocol
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.types import site_names
+
+
+def ring_links(sites):
+    return [(sites[i], sites[(i + 1) % len(sites)]) for i in range(len(sites))]
+
+
+def star_links(sites):
+    hub, *spokes = sites
+    return [(hub, spoke) for spoke in spokes]
+
+
+class TestRing:
+    def test_healthy_ring_commits(self):
+        sites = site_names(5)
+        cluster = ReplicaCluster(
+            HybridProtocol(sites), initial_value="v0", links=ring_links(sites)
+        )
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        assert cluster.node("C").value == "v1"  # two hops away logically
+
+    def test_one_ring_node_down_still_connected(self):
+        # A ring minus one node is a path: still one partition.
+        sites = site_names(5)
+        cluster = ReplicaCluster(
+            HybridProtocol(sites), initial_value="v0", links=ring_links(sites)
+        )
+        cluster.fail_site("C")
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        assert run.participants == frozenset("ABDE")
+
+    def test_two_ring_cuts_partition(self):
+        # Cutting two ring links splits the ring into two arcs.
+        sites = site_names(5)
+        cluster = ReplicaCluster(
+            DynamicVotingProtocol(sites),
+            initial_value="v0",
+            links=ring_links(sites),
+        )
+        cluster.fail_link("A", "B")
+        cluster.fail_link("C", "D")
+        # Arcs: {B, C} and {D, E, A}.
+        minority = cluster.submit_update("B", "nope")
+        majority = cluster.submit_update("E", "v1")
+        cluster.settle()
+        assert minority.status is RunStatus.DENIED
+        assert majority.status is RunStatus.COMMITTED
+        assert majority.participants == frozenset("ADE")
+        cluster.check_consistency()
+
+
+class TestStar:
+    def test_hub_failure_strands_all_spokes(self):
+        sites = site_names(5)  # A is the hub
+        cluster = ReplicaCluster(
+            HybridProtocol(sites), initial_value="v0", links=star_links(sites)
+        )
+        cluster.fail_site("A")
+        run = cluster.submit_update("B", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.DENIED  # every spoke is alone
+        cluster.repair_site("A")
+        cluster.settle()
+        retry = cluster.submit_update("B", "v1")
+        cluster.settle()
+        assert retry.status is RunStatus.COMMITTED
+
+    def test_spoke_failure_is_tolerated(self):
+        sites = site_names(4)
+        cluster = ReplicaCluster(
+            DynamicVotingProtocol(sites),
+            initial_value="v0",
+            links=star_links(sites),
+        )
+        cluster.fail_site("D")
+        run = cluster.submit_update("A", "v1")
+        cluster.settle()
+        assert run.status is RunStatus.COMMITTED
+        assert run.participants == frozenset("ABC")
+
+    def test_dynamic_voting_survives_cascading_spoke_loss(self):
+        sites = site_names(5)
+        cluster = ReplicaCluster(
+            DynamicVotingProtocol(sites),
+            initial_value="v0",
+            links=star_links(sites),
+        )
+        for k, spoke in enumerate(("E", "D")):
+            cluster.fail_site(spoke)
+            run = cluster.submit_update("A", f"v{k + 1}")
+            cluster.settle()
+            assert run.status is RunStatus.COMMITTED
+        # Down to {A, B, C} with cardinality 3: one more spoke loss still
+        # leaves a 2-of-3 majority.
+        cluster.fail_site("C")
+        final = cluster.submit_update("A", "v3")
+        cluster.settle()
+        assert final.status is RunStatus.COMMITTED
+        assert cluster.node("A").metadata.cardinality == 2

@@ -1,0 +1,109 @@
+"""Property-based fault injection against the message-level cluster.
+
+Hypothesis generates arbitrary interleavings of site failures/repairs,
+link cuts/heals, and update/read submissions; after every storm the
+cluster must (a) never have forked its history, (b) release every lock
+once partitions heal and coordinators answer, and (c) keep committing once
+fully healed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicVotingProtocol, HybridProtocol
+from repro.netsim import ReplicaCluster, RunStatus
+from repro.types import site_names
+
+SITES = site_names(4)
+PAIRS = [
+    (a, b) for i, a in enumerate(SITES) for b in SITES[i + 1:]
+]
+
+# An operation is a tagged tuple interpreted against current state.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["site", "link", "update", "read", "wait"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def apply_operations(cluster, ops):
+    submitted = []
+    for kind, index in ops:
+        if kind == "site":
+            site = SITES[index % len(SITES)]
+            if cluster.topology.is_up(site):
+                cluster.fail_site(site)
+            else:
+                cluster.repair_site(site)  # Make_Current included
+        elif kind == "link":
+            a, b = PAIRS[index % len(PAIRS)]
+            if cluster.topology.link_is_up(a, b):
+                cluster.fail_link(a, b)
+            else:
+                cluster.repair_link(a, b)
+        elif kind == "update":
+            site = SITES[index % len(SITES)]
+            if cluster.topology.is_up(site):
+                submitted.append(
+                    cluster.submit_update(site, f"value-{len(submitted)}")
+                )
+        elif kind == "read":
+            site = SITES[index % len(SITES)]
+            if cluster.topology.is_up(site):
+                submitted.append(cluster.submit_read(site))
+        else:  # wait
+            cluster.run_for(cluster.termination_timeout)
+    return submitted
+
+
+def heal(cluster):
+    for site in SITES:
+        if not cluster.topology.is_up(site):
+            cluster.repair_site(site)
+    for a, b in PAIRS:
+        if not cluster.topology.link_is_up(a, b):
+            cluster.repair_link(a, b)
+
+
+@given(ops=operations, protocol_cls=st.sampled_from([HybridProtocol, DynamicVotingProtocol]))
+@settings(max_examples=60, deadline=None)
+def test_no_fork_and_full_recovery_after_chaos(ops, protocol_cls):
+    cluster = ReplicaCluster(protocol_cls(SITES), initial_value="v0")
+    apply_operations(cluster, ops)
+    # Heal everything and let the dust settle.
+    heal(cluster)
+    cluster.settle()
+    cluster.run_for(cluster.termination_timeout * 4)
+    # (a) single linear history at all times.
+    cluster.check_consistency()
+    # (b) no lock is held once every run has terminated and every in-doubt
+    # subordinate has had time to resolve.
+    for site in SITES:
+        assert cluster.node(site).locks.holder is None, site
+    # (c) liveness: a fresh update commits on the healed cluster.
+    follow_up = cluster.submit_update("A", "after-the-storm")
+    cluster.settle()
+    assert follow_up.status is RunStatus.COMMITTED
+    cluster.check_consistency()
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_committed_reads_return_committed_values(ops):
+    cluster = ReplicaCluster(HybridProtocol(SITES), initial_value="v0")
+    submitted = apply_operations(cluster, ops)
+    heal(cluster)
+    cluster.settle()
+    cluster.run_for(cluster.termination_timeout * 4)
+    committed_values = {"v0"} | {
+        run.value
+        for run in submitted
+        if run.status is RunStatus.COMMITTED and run.value is not None
+    }
+    for run in submitted:
+        if run.status is RunStatus.COMPLETED:  # a read
+            assert run.result in committed_values

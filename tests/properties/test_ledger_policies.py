@@ -1,0 +1,97 @@
+"""Property tests for vote-ledger policies and the witness rule."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.reassignment import (
+    POLICIES,
+    GroupConsensus,
+    LinearBonus,
+    TrioFreeze,
+    VoteLedger,
+    VoteReassignmentProtocol,
+    WitnessVotingProtocol,
+)
+from repro.types import site_names
+
+SITES = site_names(6)
+
+participant_sets = st.sets(
+    st.sampled_from(SITES), min_size=1, max_size=len(SITES)
+).map(frozenset)
+
+ledgers = st.builds(
+    lambda votes: VoteLedger.from_assignment(5, votes),
+    st.fixed_dictionaries(
+        {s: st.integers(min_value=0, max_value=2) for s in SITES}
+    ).filter(lambda votes: sum(votes.values()) > 0),
+)
+
+
+@given(
+    policy_name=st.sampled_from(sorted(POLICIES)),
+    participants=participant_sets,
+    previous=ledgers,
+)
+@settings(max_examples=100, deadline=None)
+def test_reassignments_are_valid_assignments(policy_name, participants, previous):
+    policy = POLICIES[policy_name]()
+    greatest = max(participants)
+    assignment = policy.reassign(participants, previous, greatest)
+    if assignment is None:
+        return  # keep: the previous (valid) ledger stays
+    assert sum(assignment.values()) > 0
+    assert all(v >= 0 for v in assignment.values())
+    # Dynamic policies only empower participants.
+    if policy_name != "keep":
+        assert set(k for k, v in assignment.items() if v) <= set(participants)
+
+
+@given(participants=participant_sets, previous=ledgers)
+@settings(max_examples=80, deadline=None)
+def test_linear_bonus_total_is_odd(participants, previous):
+    """The +1 bonus makes every total odd: ties become impossible."""
+    assignment = LinearBonus().reassign(participants, previous, max(participants))
+    assert sum(assignment.values()) % 2 == 1
+
+
+@given(participants=participant_sets, previous=ledgers)
+@settings(max_examples=80, deadline=None)
+def test_group_consensus_majority_equals_dynamic_rule(participants, previous):
+    assignment = GroupConsensus().reassign(
+        participants, previous, max(participants)
+    )
+    # One vote per participant: a majority of votes is a majority of
+    # participants -- the dynamic voting rule.
+    assert set(assignment) == set(participants)
+    assert all(v == 1 for v in assignment.values())
+
+
+@given(previous=ledgers, pair=st.sets(st.sampled_from(SITES), min_size=2, max_size=2))
+@settings(max_examples=80, deadline=None)
+def test_trio_freeze_keeps_only_unit_trios(previous, pair):
+    policy = TrioFreeze()
+    kept = policy.reassign(frozenset(pair), previous, max(pair)) is None
+    is_unit_trio = len(previous.votes) == 3 and all(
+        v == 1 for _, v in previous.votes
+    )
+    assert kept == is_unit_trio
+
+
+@given(
+    witnesses=st.sets(st.sampled_from(SITES), min_size=1, max_size=len(SITES) - 1),
+    partition=participant_sets,
+)
+@settings(max_examples=80, deadline=None)
+def test_witness_grants_imply_vote_grants(witnesses, partition):
+    """The witness rule only ever removes quorums, never adds them."""
+    plain = VoteReassignmentProtocol(SITES)
+    with_witnesses = WitnessVotingProtocol(SITES, sorted(witnesses))
+    copies_plain = dict.fromkeys(SITES, plain.initial_metadata())
+    copies_witness = dict.fromkeys(SITES, with_witnesses.initial_metadata())
+    granted_plain = plain.is_distinguished(partition, copies_plain).granted
+    granted_witness = with_witnesses.is_distinguished(
+        partition, copies_witness
+    ).granted
+    if granted_witness:
+        assert granted_plain

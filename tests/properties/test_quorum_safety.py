@@ -1,0 +1,156 @@
+"""Property-based safety tests: the pessimistic guarantee under any history.
+
+The defining property of every protocol in the family (Theorem 1): at any
+instant, no two disjoint partitions can both be distinguished, and the
+committed versions form a single linear chain.  Hypothesis drives random
+partition histories through every protocol and checks both properties at
+every step.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PROTOCOLS, ReplicatedFile, make_protocol
+from repro.types import site_names
+
+N_SITES = 5
+SITES = site_names(N_SITES)
+PROTOCOL_NAMES = sorted(PROTOCOLS)
+
+
+def all_partitionings(sites):
+    """All ways to split ``sites`` into disjoint nonempty groups + downs."""
+    # We sample rather than enumerate: a partitioning is an assignment of
+    # each site to a group label 0..n (label n means "down").
+    return st.lists(
+        st.integers(min_value=0, max_value=len(sites)),
+        min_size=len(sites),
+        max_size=len(sites),
+    )
+
+
+def groups_from_labels(labels):
+    groups = {}
+    for site, label in zip(SITES, labels):
+        if label == len(SITES):
+            continue  # down
+        groups.setdefault(label, set()).add(site)
+    return [frozenset(g) for g in groups.values()]
+
+
+@given(
+    protocol_name=st.sampled_from(PROTOCOL_NAMES),
+    history=st.lists(all_partitionings(SITES), min_size=1, max_size=12),
+)
+@settings(max_examples=150, deadline=None)
+def test_at_most_one_distinguished_partition_ever(protocol_name, history):
+    protocol = make_protocol(protocol_name, SITES)
+    copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+    for labels in history:
+        groups = groups_from_labels(labels)
+        granted = []
+        for group in sorted(groups, key=sorted):
+            outcome = protocol.attempt_update(group, copies)
+            if outcome.accepted:
+                granted.append((group, outcome.metadata))
+        # Pessimism: at most one group per epoch may commit.
+        assert len(granted) <= 1, (protocol_name, groups, granted)
+        for group, metadata in granted:
+            for site in group:
+                copies[site] = metadata
+
+
+@given(
+    protocol_name=st.sampled_from(PROTOCOL_NAMES),
+    history=st.lists(all_partitionings(SITES), min_size=1, max_size=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_committed_history_is_linear(protocol_name, history):
+    protocol = make_protocol(protocol_name, SITES)
+    file = ReplicatedFile(protocol, initial_value=0)
+    for epoch, labels in enumerate(history):
+        for group in sorted(groups_from_labels(labels), key=sorted):
+            file.try_write(group, epoch)
+    file.check_linear_history()
+
+
+@given(
+    protocol_name=st.sampled_from(PROTOCOL_NAMES),
+    history=st.lists(all_partitionings(SITES), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_current_copies_share_metadata(protocol_name, history):
+    """All sites at the maximum version always agree on (SC, DS)."""
+    protocol = make_protocol(protocol_name, SITES)
+    copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+    for labels in history:
+        for group in sorted(groups_from_labels(labels), key=sorted):
+            outcome = protocol.attempt_update(group, copies)
+            if outcome.accepted:
+                for site in group:
+                    copies[site] = outcome.metadata
+        top = max(m.version for m in copies.values())
+        metas = {m for m in copies.values() if m.version == top}
+        assert len(metas) == 1, (protocol_name, metas)
+
+
+@given(
+    protocol_name=st.sampled_from(PROTOCOL_NAMES),
+    history=st.lists(all_partitionings(SITES), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_consecutive_quorums_intersect_in_a_current_copy(protocol_name, history):
+    """Every accepted update reads the immediately preceding version."""
+    protocol = make_protocol(protocol_name, SITES)
+    copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+    last_version = 0
+    for labels in history:
+        for group in sorted(groups_from_labels(labels), key=sorted):
+            outcome = protocol.attempt_update(group, copies)
+            if outcome.accepted:
+                assert outcome.decision.max_version == last_version
+                assert outcome.metadata.version == last_version + 1
+                last_version += 1
+                for site in group:
+                    copies[site] = outcome.metadata
+
+
+@given(
+    history=st.lists(all_partitionings(SITES), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_hybrid_static_phase_invariants(history):
+    """Whenever SC = 3 under the hybrid protocol, DS lists exactly 3 sites."""
+    protocol = make_protocol("hybrid", SITES)
+    copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+    for labels in history:
+        for group in sorted(groups_from_labels(labels), key=sorted):
+            outcome = protocol.attempt_update(group, copies)
+            if outcome.accepted:
+                meta = outcome.metadata
+                if meta.cardinality == 3:
+                    assert len(meta.distinguished) == 3
+                elif meta.cardinality % 2 == 0:
+                    assert len(meta.distinguished) == 1
+                    assert meta.distinguished[0] in group
+                for site in group:
+                    copies[site] = meta
+
+
+@given(
+    labels=all_partitionings(SITES),
+    protocol_name=st.sampled_from(PROTOCOL_NAMES),
+)
+@settings(max_examples=100, deadline=None)
+def test_decisions_are_deterministic_and_pure(labels, protocol_name):
+    """Repeating is_distinguished never changes the answer or the copies."""
+    protocol = make_protocol(protocol_name, SITES)
+    copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+    for group in groups_from_labels(labels):
+        before = dict(copies)
+        first = protocol.is_distinguished(group, copies)
+        second = protocol.is_distinguished(group, copies)
+        assert first == second
+        assert copies == before

@@ -1,0 +1,103 @@
+"""Property tests for the static quorum algebra (coteries, votes)."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.quorums import (
+    VoteAssignment,
+    coterie_from_votes,
+    majority_coterie,
+)
+from repro.types import site_names
+
+SITES = site_names(5)
+
+vote_tables = st.fixed_dictionaries(
+    {site: st.integers(min_value=0, max_value=3) for site in SITES}
+)
+
+probabilities = st.fixed_dictionaries(
+    {site: st.floats(min_value=0.05, max_value=0.95) for site in SITES}
+)
+
+
+@given(votes=vote_tables)
+@settings(max_examples=80, deadline=None)
+def test_vote_coteries_are_valid_coteries(votes):
+    assume(sum(votes.values()) > 0)
+    coterie = coterie_from_votes(SITES, votes)
+    # Constructor validated intersection and minimality; double-check the
+    # semantic contract: a set is a quorum iff it holds a vote majority or
+    # contains such a set.
+    total = sum(votes.values())
+    import itertools
+
+    for size in range(1, len(SITES) + 1):
+        for combo in itertools.combinations(SITES, size):
+            members = frozenset(combo)
+            held = sum(votes[s] for s in members)
+            assert coterie.is_quorum(members) == (2 * held > total)
+
+
+@given(votes=vote_tables)
+@settings(max_examples=60, deadline=None)
+def test_two_disjoint_quorums_never_exist(votes):
+    assume(sum(votes.values()) > 0)
+    coterie = coterie_from_votes(SITES, votes)
+    for g1 in coterie.groups:
+        for g2 in coterie.groups:
+            assert g1 & g2
+
+
+@given(votes=vote_tables, table=probabilities)
+@settings(max_examples=60, deadline=None)
+def test_site_measure_never_exceeds_traditional(votes, table):
+    assume(sum(votes.values()) > 0)
+    assignment = VoteAssignment.weighted(SITES, votes)
+    assert assignment.site_availability(table) <= assignment.availability(
+        table
+    ) + 1e-12
+
+
+@given(votes=vote_tables, p=st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=60, deadline=None)
+def test_availability_bounded_by_best_site(votes, p):
+    assume(sum(votes.values()) > 0)
+    assignment = VoteAssignment.weighted(SITES, votes)
+    # With uniform p, no assignment's traditional availability beats the
+    # probability that SOME site is up... trivially true; the sharp bound
+    # for the site measure is p itself.
+    assert assignment.site_availability(p) <= p + 1e-12
+
+
+@given(
+    extra=st.integers(min_value=0, max_value=3),
+    p=st.floats(min_value=0.5, max_value=0.95),
+)
+@settings(max_examples=40, deadline=None)
+def test_boosting_one_site_never_helps_reliable_uniform_sites(extra, p):
+    """For homogeneous sites with p >= 1/2, symmetric votes are optimal.
+
+    (The classical condition -- Garcia-Molina & Barbara.  Below p = 1/2
+    the relation genuinely flips: concentrated assignments win, as a
+    hypothesis run against the unrestricted property demonstrated.)
+    """
+    uniform = VoteAssignment.uniform(SITES)
+    boosted = VoteAssignment.weighted(
+        SITES, {**dict.fromkeys(SITES, 1), "A": 1 + extra}
+    )
+    assert boosted.site_availability(p) <= uniform.site_availability(p) + 1e-12
+
+
+@given(extra=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_concentration_wins_below_one_half(extra):
+    """The flip side, pinned: at p = 0.25 a boosted site strictly helps."""
+    uniform = VoteAssignment.uniform(SITES)
+    boosted = VoteAssignment.weighted(
+        SITES, {**dict.fromkeys(SITES, 1), "A": 1 + 2 * extra}
+    )
+    assert boosted.site_availability(0.25) > uniform.site_availability(0.25)

@@ -1,0 +1,135 @@
+"""Unit tests for the coterie algebra."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.quorums import (
+    Coterie,
+    coterie_from_votes,
+    majority_coterie,
+    primary_copy_coterie,
+    tree_coterie,
+)
+from repro.types import site_names
+
+
+class TestConstruction:
+    def test_valid_coterie(self):
+        coterie = Coterie("ABC", [{"A", "B"}, {"B", "C"}, {"A", "C"}])
+        assert len(coterie.groups) == 3
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ProtocolError):
+            Coterie("ABC", [set()])
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ProtocolError):
+            Coterie("ABC", [])
+
+    def test_disjoint_groups_rejected(self):
+        with pytest.raises(ProtocolError, match="do not intersect"):
+            Coterie("ABCD", [{"A", "B"}, {"C", "D"}])
+
+    def test_non_minimal_rejected(self):
+        with pytest.raises(ProtocolError, match="minimal"):
+            Coterie("ABC", [{"A"}, {"A", "B"}])
+
+    def test_unknown_sites_rejected(self):
+        with pytest.raises(ProtocolError):
+            Coterie("AB", [{"A", "Z"}])
+
+    def test_duplicate_groups_collapse(self):
+        coterie = Coterie("ABC", [{"A", "B"}, {"B", "A"}])
+        assert len(coterie.groups) == 1
+
+
+class TestQuorumChecks:
+    def test_is_quorum(self):
+        coterie = majority_coterie(site_names(5))
+        assert coterie.is_quorum({"A", "B", "C"})
+        assert coterie.is_quorum({"A", "B", "C", "D"})
+        assert not coterie.is_quorum({"A", "B"})
+
+    def test_any_two_quorums_intersect_exhaustively(self):
+        coterie = majority_coterie(site_names(5))
+        for g1 in coterie.groups:
+            for g2 in coterie.groups:
+                assert g1 & g2
+
+    def test_blocking_sets_of_majority(self):
+        coterie = majority_coterie(site_names(3))
+        # Killing any 2 of 3 sites blocks every majority.
+        blockers = coterie.blocking_sets()
+        assert all(len(b) == 2 for b in blockers)
+        assert len(blockers) == 3
+
+    def test_blocking_sets_of_primary(self):
+        coterie = primary_copy_coterie(site_names(3), "B")
+        assert coterie.blocking_sets() == (frozenset({"B"}),)
+
+
+class TestDomination:
+    def test_majority_not_dominated_odd_n(self):
+        assert not majority_coterie(site_names(3)).is_dominated()
+        assert not majority_coterie(site_names(5)).is_dominated()
+
+    def test_majority_dominated_even_n(self):
+        # For even n, pure majorities are dominated (a tie-breaking rule
+        # such as the primary-site scheme strictly improves them).
+        assert majority_coterie(site_names(4)).is_dominated()
+
+    def test_primary_copy_not_dominated(self):
+        assert not primary_copy_coterie(site_names(4), "A").is_dominated()
+
+    def test_dominates_relation(self):
+        # {A} dominates the 2-of-3 majority restricted... build an example:
+        weaker = Coterie("ABC", [{"A", "B"}, {"A", "C"}])
+        stronger = Coterie("ABC", [{"A"}])
+        assert stronger.dominates(weaker)
+        assert not weaker.dominates(stronger)
+
+    def test_dominates_requires_common_universe(self):
+        with pytest.raises(ProtocolError):
+            majority_coterie("ABC").dominates(majority_coterie("ABCD"))
+
+    def test_coterie_does_not_dominate_itself(self):
+        coterie = majority_coterie(site_names(3))
+        assert not coterie.dominates(coterie)
+
+
+class TestConstructors:
+    def test_majority_groups_have_quorum_size(self):
+        coterie = majority_coterie(site_names(5))
+        assert all(len(g) == 3 for g in coterie.groups)
+        assert len(coterie.groups) == 10  # C(5,3)
+
+    def test_coterie_from_uniform_votes_equals_majority(self):
+        sites = site_names(5)
+        votes = dict.fromkeys(sites, 1)
+        assert coterie_from_votes(sites, votes) == majority_coterie(sites)
+
+    def test_coterie_from_weighted_votes(self):
+        coterie = coterie_from_votes("ABC", {"A": 2, "B": 1, "C": 1})
+        # majority of 4 votes is > 2: {A,B}, {A,C}, {B,C}... B+C = 2 not > 2.
+        assert frozenset("AB") in coterie.groups
+        assert frozenset("AC") in coterie.groups
+        assert frozenset("BC") not in coterie.groups
+
+    def test_dictator_vote_assignment(self):
+        coterie = coterie_from_votes("ABC", {"A": 3, "B": 1, "C": 1})
+        assert coterie.groups == (frozenset("A"),)
+
+    def test_tree_coterie_seven_sites(self):
+        coterie = tree_coterie(site_names(7))
+        # Root-to-leaf paths have size 3; root failure doubles up.
+        assert coterie.is_quorum({"A", "B", "D"})  # root, left, leaf
+        assert coterie.is_quorum({"B", "D", "C", "F"})  # two child paths
+        assert not coterie.is_quorum({"D", "E"})
+
+    def test_tree_coterie_needs_full_tree(self):
+        with pytest.raises(ProtocolError):
+            tree_coterie(site_names(5))
+
+    def test_tree_coterie_single_site(self):
+        coterie = tree_coterie(site_names(1))
+        assert coterie.groups == (frozenset("A"),)

@@ -1,0 +1,83 @@
+"""Unit tests for the optimal static vote assignment search."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.quorums import (
+    VoteAssignment,
+    optimal_vote_assignment,
+)
+from repro.types import site_names
+
+
+class TestSearch:
+    def test_uniform_sites_get_a_majority_structure(self):
+        result = optimal_vote_assignment(
+            site_names(3), dict.fromkeys(site_names(3), 0.8), max_votes_per_site=2
+        )
+        # With identical sites, some symmetric majority scheme wins; its
+        # availability must equal simple majority voting's.
+        uniform = VoteAssignment.uniform(site_names(3)).site_availability(0.8)
+        assert result.availability >= uniform - 1e-12
+
+    def test_reliable_site_becomes_dictator(self):
+        result = optimal_vote_assignment(
+            site_names(3), {"A": 0.99, "B": 0.5, "C": 0.5}, max_votes_per_site=2
+        )
+        assert result.votes["A"] >= result.votes["B"] + result.votes["C"]
+
+    def test_beats_or_matches_every_candidate(self):
+        import itertools
+
+        probabilities = {"A": 0.9, "B": 0.7, "C": 0.55}
+        result = optimal_vote_assignment(
+            site_names(3), probabilities, max_votes_per_site=2
+        )
+        for votes in itertools.product(range(3), repeat=3):
+            if not any(votes):
+                continue
+            candidate = VoteAssignment.weighted(
+                site_names(3), dict(zip(site_names(3), votes))
+            )
+            assert result.availability >= candidate.site_availability(
+                probabilities
+            ) - 1e-12
+
+    def test_traditional_measure_supported(self):
+        result = optimal_vote_assignment(
+            site_names(3),
+            {"A": 0.9, "B": 0.7, "C": 0.55},
+            max_votes_per_site=2,
+            measure="traditional",
+        )
+        assert result.measure == "traditional"
+        assert 0 < result.availability <= 1
+
+    def test_deterministic_tie_breaking(self):
+        probabilities = dict.fromkeys(site_names(3), 0.5)
+        first = optimal_vote_assignment(site_names(3), probabilities)
+        second = optimal_vote_assignment(site_names(3), probabilities)
+        assert first.votes == second.votes
+
+    def test_invalid_measure_rejected(self):
+        with pytest.raises(ProtocolError):
+            optimal_vote_assignment(site_names(2), {"A": 0.5, "B": 0.5}, measure="x")
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ProtocolError):
+            optimal_vote_assignment(
+                site_names(2), {"A": 0.5, "B": 0.5}, max_votes_per_site=0
+            )
+
+    def test_oversized_search_rejected(self):
+        with pytest.raises(ProtocolError):
+            optimal_vote_assignment(
+                site_names(15), dict.fromkeys(site_names(15), 0.5),
+                max_votes_per_site=3,
+            )
+
+    def test_evaluated_count(self):
+        result = optimal_vote_assignment(
+            site_names(2), {"A": 0.8, "B": 0.8}, max_votes_per_site=1
+        )
+        assert result.evaluated == 3  # (0,1), (1,0), (1,1)

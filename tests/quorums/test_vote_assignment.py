@@ -1,0 +1,159 @@
+"""Unit tests for vote assignments and their exact availability."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.quorums import (
+    VoteAssignment,
+    majority_availability,
+    uniform_up_probability,
+)
+from repro.types import site_names
+
+
+class TestUpProbability:
+    def test_formula(self):
+        assert uniform_up_probability(1.0) == 0.5
+        assert uniform_up_probability(3.0) == 0.75
+        assert uniform_up_probability(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            uniform_up_probability(-0.1)
+
+
+class TestVoteAssignment:
+    def test_uniform_quorum(self):
+        assignment = VoteAssignment.uniform(site_names(5))
+        assert assignment.has_quorum(frozenset("ABC"))
+        assert not assignment.has_quorum(frozenset("AB"))
+
+    def test_weighted_quorum(self):
+        assignment = VoteAssignment.weighted(
+            site_names(3), {"A": 2, "B": 1, "C": 1}
+        )
+        assert assignment.total == 4
+        assert assignment.has_quorum(frozenset("AB"))
+        assert not assignment.has_quorum(frozenset("BC"))
+
+    def test_availability_matches_closed_form(self):
+        assignment = VoteAssignment.uniform(site_names(5))
+        for p in (0.2, 0.5, 0.8):
+            enumerated = assignment.availability(p)
+            closed = majority_availability(5, p, measure="traditional")
+            assert enumerated == pytest.approx(closed, abs=1e-12)
+
+    def test_site_availability_matches_closed_form(self):
+        assignment = VoteAssignment.uniform(site_names(4))
+        for p in (0.3, 0.6, 0.9):
+            enumerated = assignment.site_availability(p)
+            closed = majority_availability(4, p, measure="site")
+            assert enumerated == pytest.approx(closed, abs=1e-12)
+
+    def test_heterogeneous_probabilities(self):
+        assignment = VoteAssignment.weighted(site_names(2), {"A": 2, "B": 1})
+        # A is a dictator: availability = P(A up).
+        table = {"A": 0.7, "B": 0.4}
+        assert assignment.availability(table) == pytest.approx(0.7)
+
+    def test_dictator_site_measure(self):
+        assignment = VoteAssignment.weighted(site_names(2), {"A": 2, "B": 1})
+        table = {"A": 0.7, "B": 0.4}
+        # update must land on an up site in A's partition: A always, B only
+        # when up alongside A: (0.7*0.6*1 + 0.7*0.4*2)/2.
+        expected = 0.7 * 0.6 * (1 / 2) + 0.7 * 0.4 * (2 / 2)
+        assert assignment.site_availability(table) == pytest.approx(expected)
+
+    def test_probability_out_of_range_rejected(self):
+        assignment = VoteAssignment.uniform(site_names(2))
+        with pytest.raises(ProtocolError):
+            assignment.availability(1.5)
+
+    def test_coterie_roundtrip(self):
+        assignment = VoteAssignment.uniform(site_names(3))
+        coterie = assignment.coterie()
+        assert all(len(g) == 2 for g in coterie.groups)
+
+
+class TestMajorityAvailabilityClosedForm:
+    def test_single_site(self):
+        assert majority_availability(1, 0.8, measure="site") == pytest.approx(0.8)
+        assert majority_availability(1, 0.8, measure="traditional") == pytest.approx(0.8)
+
+    def test_three_sites_traditional(self):
+        p = 0.5
+        expected = sum(
+            math.comb(3, k) * p**k * (1 - p) ** (3 - k) for k in (2, 3)
+        )
+        assert majority_availability(3, p, measure="traditional") == pytest.approx(
+            expected
+        )
+
+    def test_site_measure_below_traditional(self):
+        # The k/n factor can only shrink terms.
+        for n in (3, 4, 5):
+            for p in (0.3, 0.7):
+                assert majority_availability(n, p, "site") <= majority_availability(
+                    n, p, "traditional"
+                )
+
+    def test_monotone_in_p(self):
+        values = [majority_availability(5, p) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_invalid_measure_rejected(self):
+        with pytest.raises(ProtocolError):
+            majority_availability(3, 0.5, measure="bogus")
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ProtocolError):
+            majority_availability(0, 0.5)
+
+
+class TestSymbolicAvailability:
+    def test_uniform_matches_chain_symbolic(self):
+        from repro.markov import availability_symbolic
+        from repro.quorums import VoteAssignment
+        from repro.types import site_names
+
+        for n in (3, 4, 5):
+            assignment = VoteAssignment.uniform(site_names(n))
+            assert assignment.availability_symbolic() == availability_symbolic(
+                "voting", n
+            )
+
+    def test_dictator_traditional_is_up_probability(self):
+        from fractions import Fraction
+
+        from repro.quorums import VoteAssignment
+        from repro.types import site_names
+
+        assignment = VoteAssignment.weighted(site_names(2), {"A": 3, "B": 1})
+        f = assignment.availability_symbolic("traditional")
+        assert f(Fraction(4)) == Fraction(4, 5)  # P(A up) = r/(1+r)
+
+    def test_symbolic_evaluates_to_numeric(self):
+        from fractions import Fraction
+
+        from repro.quorums import VoteAssignment
+        from repro.types import site_names
+
+        assignment = VoteAssignment.weighted(
+            site_names(3), {"A": 2, "B": 1, "C": 1}
+        )
+        f = assignment.availability_symbolic()
+        for ratio in (Fraction(1, 2), Fraction(3)):
+            p = float(ratio / (1 + ratio))
+            assert float(f(ratio)) == pytest.approx(
+                assignment.site_availability(p), abs=1e-12
+            )
+
+    def test_bad_measure_rejected(self):
+        from repro.errors import ProtocolError
+        from repro.quorums import VoteAssignment
+        from repro.types import site_names
+
+        with pytest.raises(ProtocolError):
+            VoteAssignment.uniform(site_names(2)).availability_symbolic("x")

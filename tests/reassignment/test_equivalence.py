@@ -1,0 +1,126 @@
+"""The Section VII equivalences, verified mechanically.
+
+"Each participant in an update gets one vote, the distinguished site gets
+one extra vote (when the number of sites participating is even), and
+nonparticipants get no votes" -- the paper's claim that the dynamic family
+is vote reassignment.  We verify it three ways: per-decision agreement on
+exhaustive histories, identical derived Markov chains, and identical
+Monte-Carlo behaviour (the latter through the shared derived-chain check).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Rule, make_protocol
+from repro.markov import availability, derive_chain
+from repro.reassignment import (
+    POLICIES,
+    GroupConsensus,
+    KeepVotes,
+    LinearBonus,
+    TrioFreeze,
+    VoteLedger,
+    VoteReassignmentProtocol,
+)
+from repro.types import site_names
+
+PAIRS = [
+    ("keep", "voting"),
+    ("group-consensus", "dynamic"),
+    ("linear-bonus", "dynamic-linear"),
+    ("trio-freeze", "hybrid"),
+]
+
+SITES = site_names(5)
+
+partition_labels = st.lists(
+    st.integers(min_value=0, max_value=len(SITES)),
+    min_size=len(SITES),
+    max_size=len(SITES),
+)
+
+
+def groups_from(labels):
+    groups = {}
+    for site, label in zip(SITES, labels):
+        if label == len(SITES):
+            continue
+        groups.setdefault(label, set()).add(site)
+    return [frozenset(g) for g in groups.values()]
+
+
+class TestPolicyBasics:
+    def test_policy_registry(self):
+        assert set(POLICIES) == {
+            "keep", "group-consensus", "linear-bonus", "trio-freeze",
+        }
+
+    def test_initial_assignments(self):
+        sites4 = frozenset(site_names(4))
+        assert GroupConsensus().initial(sites4, "D") == {
+            "A": 1, "B": 1, "C": 1, "D": 1,
+        }
+        assert LinearBonus().initial(sites4, "D")["D"] == 2
+        assert TrioFreeze().initial(frozenset("ABC"), "C") == {
+            "A": 1, "B": 1, "C": 1,
+        }
+
+    def test_keep_votes_custom_assignment(self):
+        policy = KeepVotes({"A": 3, "B": 1})
+        assert policy.initial(frozenset("AB"), "B") == {"A": 3, "B": 1}
+        assert policy.reassign(frozenset("B"), None, "B") is None
+
+    def test_trio_freeze_keeps_on_minimal_commit(self):
+        policy = TrioFreeze()
+        trio = VoteLedger(5, (("A", 1), ("B", 1), ("C", 1)))
+        assert policy.reassign(frozenset("AB"), trio, "B") is None
+        # but a three-site commit installs the new trio:
+        assert policy.reassign(frozenset("BCD"), trio, "D") == {
+            "B": 1, "C": 1, "D": 1,
+        }
+
+    def test_vote_majority_decision(self):
+        protocol = VoteReassignmentProtocol(site_names(3))
+        copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+        decision = protocol.is_distinguished({"A", "B"}, copies)
+        assert decision.granted
+        assert decision.rule is Rule.STATIC_MAJORITY
+        assert not protocol.is_distinguished({"C"}, copies).granted
+
+
+class TestEquivalences:
+    @pytest.mark.parametrize("policy_name,protocol_name", PAIRS)
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_derived_chains_agree(self, policy_name, protocol_name, n):
+        reassignment = VoteReassignmentProtocol(
+            site_names(n), POLICIES[policy_name]()
+        )
+        chain = derive_chain(reassignment)
+        for ratio in (0.4, 1.0, 2.5):
+            assert chain.availability(ratio) == pytest.approx(
+                availability(protocol_name, n, ratio), abs=1e-12
+            )
+
+    @pytest.mark.parametrize("policy_name,protocol_name", PAIRS)
+    @given(history=st.lists(partition_labels, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_decisions_on_random_histories(
+        self, policy_name, protocol_name, history
+    ):
+        reassignment = VoteReassignmentProtocol(SITES, POLICIES[policy_name]())
+        reference = make_protocol(protocol_name, SITES)
+        votes_copies = dict.fromkeys(SITES, reassignment.initial_metadata())
+        ref_copies = dict.fromkeys(SITES, reference.initial_metadata())
+        for labels in history:
+            for group in sorted(groups_from(labels), key=sorted):
+                ours = reassignment.attempt_update(group, votes_copies)
+                theirs = reference.attempt_update(group, ref_copies)
+                assert ours.accepted == theirs.accepted, (
+                    policy_name, group,
+                    votes_copies, ref_copies,
+                )
+                if ours.accepted:
+                    for site in group:
+                        votes_copies[site] = ours.metadata
+                        ref_copies[site] = theirs.metadata

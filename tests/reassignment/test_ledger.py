@@ -1,0 +1,69 @@
+"""Unit tests for vote ledgers."""
+
+import pytest
+
+from repro.errors import MetadataInvariantError
+from repro.reassignment import VoteLedger
+
+
+class TestConstruction:
+    def test_basic(self):
+        ledger = VoteLedger(3, (("A", 1), ("B", 2)))
+        assert ledger.version == 3
+        assert ledger.total == 3
+        assert ledger.voters == frozenset("AB")
+
+    def test_zero_votes_dropped(self):
+        ledger = VoteLedger(0, (("A", 1), ("B", 0)))
+        assert ledger.voters == frozenset("A")
+
+    def test_sorted_canonically(self):
+        assert VoteLedger(0, (("B", 1), ("A", 1))) == VoteLedger(
+            0, (("A", 1), ("B", 1))
+        )
+
+    def test_hashable(self):
+        assert len({VoteLedger(0, (("A", 1),)), VoteLedger(0, (("A", 1),))}) == 1
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            VoteLedger(0, (("A", -1), ("B", 2)))
+
+    def test_duplicate_voters_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            VoteLedger(0, (("A", 1), ("A", 2)))
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            VoteLedger(0, ())
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(MetadataInvariantError):
+            VoteLedger(-1, (("A", 1),))
+
+    def test_from_assignment(self):
+        ledger = VoteLedger.from_assignment(2, {"A": 1, "B": 0, "C": 3})
+        assert ledger.assignment() == {"A": 1, "C": 3}
+
+
+class TestQueries:
+    def test_votes_of(self):
+        ledger = VoteLedger(0, (("A", 2), ("B", 1)))
+        assert ledger.votes_of("A") == 2
+        assert ledger.votes_of("Z") == 0
+
+    def test_held_by(self):
+        ledger = VoteLedger(0, (("A", 2), ("B", 1), ("C", 1)))
+        assert ledger.held_by({"A", "C"}) == 3
+        assert ledger.held_by({"D"}) == 0
+
+    def test_with_version(self):
+        ledger = VoteLedger(0, (("A", 1),))
+        assert ledger.with_version(5).version == 5
+        assert ledger.with_version(5).votes == ledger.votes
+        assert ledger.with_version(0) is ledger
+
+    def test_describe(self):
+        assert VoteLedger(4, (("A", 1), ("B", 2))).describe() == (
+            "VN=4 votes={A:1,B:2}"
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for voting with witnesses (Paris's scheme)."""
+
+import pytest
+
+from repro.core import Rule
+from repro.errors import ProtocolError
+from repro.markov import availability, derive_chain
+from repro.reassignment import (
+    GroupConsensus,
+    KeepVotes,
+    WitnessVotingProtocol,
+)
+from repro.types import site_names
+
+
+def witness_protocol(policy=None):
+    return WitnessVotingProtocol(
+        site_names(5), witnesses=["D", "E"], policy=policy or KeepVotes()
+    )
+
+
+class TestConstruction:
+    def test_witness_sets(self):
+        protocol = witness_protocol()
+        assert protocol.witnesses == frozenset("DE")
+        assert protocol.copy_sites == frozenset("ABC")
+
+    def test_unknown_witness_rejected(self):
+        with pytest.raises(ProtocolError):
+            WitnessVotingProtocol(site_names(3), witnesses=["Z"])
+
+    def test_all_witnesses_rejected(self):
+        with pytest.raises(ProtocolError):
+            WitnessVotingProtocol(site_names(3), witnesses=site_names(3))
+
+
+class TestQuorumRule:
+    def test_majority_with_a_copy_grants(self):
+        protocol = witness_protocol()
+        copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+        assert protocol.is_distinguished({"A", "D", "E"}, copies).granted
+
+    def test_witness_only_current_blocks(self):
+        # Update via {A, D, E}; then a partition holding the witnesses D, E
+        # (current) plus stale copies B, C has a vote majority but no
+        # current copy: denied.
+        protocol = witness_protocol()
+        copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+        outcome = protocol.attempt_update({"A", "D", "E"}, copies)
+        for site in "ADE":
+            copies[site] = outcome.metadata
+        decision = protocol.is_distinguished({"B", "C", "D", "E"}, copies)
+        assert not decision.granted
+        assert decision.rule is Rule.DENIED
+
+    def test_stale_copy_catches_up_through_a_current_copy(self):
+        protocol = witness_protocol()
+        copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+        outcome = protocol.attempt_update({"A", "D", "E"}, copies)
+        for site in "ADE":
+            copies[site] = outcome.metadata
+        # A (current copy) + B (stale) + D: fine.
+        decision = protocol.is_distinguished({"A", "B", "D"}, copies)
+        assert decision.granted
+
+    def test_minority_denied(self):
+        protocol = witness_protocol()
+        copies = dict.fromkeys(protocol.sites, protocol.initial_metadata())
+        assert not protocol.is_distinguished({"A", "B"}, copies).granted
+
+
+class TestAvailabilityShape:
+    def test_paris_headline(self):
+        # Three copies plus two witnesses nearly match five full copies
+        # and beat three copies, at reasonable repair/failure ratios.
+        chain = derive_chain(witness_protocol())
+        for ratio in (4.0, 8.0):
+            with_witnesses = chain.availability(ratio)
+            five_copies = availability("voting", 5, ratio)
+            three_copies = availability("voting", 3, ratio)
+            assert three_copies < with_witnesses < five_copies
+            assert five_copies - with_witnesses < 0.01
+
+    def test_witnesses_cost_something(self):
+        # Replacing copies by witnesses can only reduce availability
+        # relative to full replication (same votes, fewer data holders).
+        chain = derive_chain(witness_protocol())
+        for ratio in (0.5, 1.0, 3.0):
+            assert chain.availability(ratio) <= availability("voting", 5, ratio)
+
+    def test_dynamic_policy_composes(self):
+        chain = derive_chain(witness_protocol(GroupConsensus()))
+        static_chain = derive_chain(witness_protocol())
+        # Dynamic reassignment with witnesses beats static witnesses at
+        # moderate ratios, mirroring dynamic vs static voting.
+        assert chain.availability(2.0) > static_chain.availability(2.0)

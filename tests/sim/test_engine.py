@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ScheduleError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_actions_can_schedule_more_actions(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_action_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(True))
+        handle.cancel()
+        sim.run()
+        assert not ran
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunLimits:
+    def test_run_until_stops_the_clock_at_the_horizon(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(10.0, lambda: ran.append(2))
+        sim.run(until=5.0)
+        assert ran == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert ran == [1, 2]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        ran = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: ran.append(i))
+        sim.run(max_events=2)
+        assert ran == [0, 1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,118 @@
+"""Unit tests for the Poisson failure/repair sampler and Rates."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventKind, FailureRepairSampler, Rates
+from repro.types import site_names
+
+
+class TestRates:
+    def test_ratio(self):
+        rates = Rates(failure=2.0, repair=6.0)
+        assert rates.ratio == 3.0
+
+    def test_from_ratio(self):
+        rates = Rates.from_ratio(2.5)
+        assert rates.failure == 1.0
+        assert rates.repair == 2.5
+
+    def test_up_probability(self):
+        assert Rates(1.0, 3.0).up_probability() == 0.75
+        assert Rates(1.0, 0.0).up_probability() == 0.0
+
+    def test_nonpositive_failure_rejected(self):
+        with pytest.raises(SimulationError):
+            Rates(0.0, 1.0)
+
+    def test_negative_repair_rejected(self):
+        with pytest.raises(SimulationError):
+            Rates(1.0, -1.0)
+
+
+class TestSampler:
+    def test_first_event_is_a_failure(self):
+        sampler = FailureRepairSampler(
+            site_names(3), Rates(1.0, 1.0), random.Random(1)
+        )
+        event = sampler.next_event()
+        assert event.kind is EventKind.SITE_FAILURE
+        assert event.subject in set(site_names(3))
+        assert len(sampler.up) == 2
+
+    def test_time_is_monotone(self):
+        sampler = FailureRepairSampler(
+            site_names(4), Rates(1.0, 2.0), random.Random(7)
+        )
+        times = [sampler.next_event().time for _ in range(200)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_up_set_tracks_events(self):
+        sampler = FailureRepairSampler(
+            site_names(4), Rates(1.0, 2.0), random.Random(3)
+        )
+        for _ in range(500):
+            event = sampler.next_event()
+            if event.kind is EventKind.SITE_FAILURE:
+                assert event.subject not in sampler.up
+            else:
+                assert event.subject in sampler.up
+
+    def test_absorbing_state_raises(self):
+        sampler = FailureRepairSampler(
+            site_names(1), Rates(1.0, 0.0), random.Random(0)
+        )
+        sampler.next_event()  # the only site fails
+        with pytest.raises(SimulationError):
+            sampler.next_event()
+
+    def test_long_run_up_fraction_matches_theory(self):
+        rates = Rates(1.0, 3.0)  # p_up = 0.75
+        sampler = FailureRepairSampler(
+            site_names(10), rates, random.Random(42)
+        )
+        weighted_up = 0.0
+        last_time = 0.0
+        for _ in range(30_000):
+            up_before = len(sampler.up)
+            event = sampler.next_event()
+            weighted_up += up_before * (event.time - last_time)
+            last_time = event.time
+        average_up = weighted_up / last_time / 10
+        assert average_up == pytest.approx(0.75, abs=0.01)
+
+    def test_initially_up_subset(self):
+        sampler = FailureRepairSampler(
+            site_names(3),
+            Rates(1.0, 1.0),
+            random.Random(0),
+            initially_up=["A"],
+        )
+        assert sampler.up == frozenset("A")
+
+    def test_unknown_initially_up_rejected(self):
+        with pytest.raises(SimulationError):
+            FailureRepairSampler(
+                site_names(3), Rates(1.0, 1.0), random.Random(0), initially_up=["Z"]
+            )
+
+
+class TestEventRecord:
+    def test_describe(self):
+        from repro.sim import Event
+
+        event = Event(3.2, EventKind.SITE_FAILURE, "C")
+        assert event.describe() == "t=3.20 site-failure(C)"
+        link = Event(1.0, EventKind.LINK_FAILURE, "A", "B")
+        assert "A-B" in link.describe()
+
+    def test_ordering_by_time(self):
+        from repro.sim import Event
+
+        events = [
+            Event(2.0, EventKind.SITE_REPAIR, "A"),
+            Event(1.0, EventKind.SITE_FAILURE, "B"),
+        ]
+        assert sorted(events)[0].time == 1.0

@@ -1,0 +1,59 @@
+"""Unit tests for the Monte-Carlo availability estimator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import estimate_availability
+
+
+class TestEstimator:
+    def test_result_fields(self):
+        result = estimate_availability(
+            "voting", 3, 1.0, replicates=3, events=800, seed=1
+        )
+        assert result.protocol == "voting"
+        assert result.n_sites == 3
+        assert 0.0 < result.mean < 1.0
+        assert result.stderr > 0.0
+
+    def test_reproducible_with_seed(self):
+        a = estimate_availability("dynamic", 4, 1.0, replicates=3, events=600, seed=9)
+        b = estimate_availability("dynamic", 4, 1.0, replicates=3, events=600, seed=9)
+        assert a.mean == b.mean
+        assert a.stderr == b.stderr
+
+    def test_different_seeds_differ(self):
+        a = estimate_availability("dynamic", 4, 1.0, replicates=3, events=600, seed=1)
+        b = estimate_availability("dynamic", 4, 1.0, replicates=3, events=600, seed=2)
+        assert a.mean != b.mean
+
+    def test_matches_analytic_value(self):
+        from repro.markov import availability
+
+        result = estimate_availability(
+            "hybrid", 5, 1.0, replicates=6, events=8_000, seed=33
+        )
+        assert result.agrees_with(availability("hybrid", 5, 1.0))
+
+    def test_custom_factory(self):
+        from repro.core import DynamicVotingProtocol
+
+        result = estimate_availability(
+            DynamicVotingProtocol, 3, 2.0, replicates=3, events=500, seed=4
+        )
+        assert result.mean > 0
+
+    def test_confidence_interval_brackets_mean(self):
+        result = estimate_availability(
+            "voting", 3, 1.0, replicates=4, events=500, seed=5
+        )
+        low, high = result.confidence_interval()
+        assert low < result.mean < high
+
+    def test_too_few_replicates_rejected(self):
+        with pytest.raises(SimulationError):
+            estimate_availability("voting", 3, 1.0, replicates=1, events=100)
+
+    def test_nonpositive_events_rejected(self):
+        with pytest.raises(SimulationError):
+            estimate_availability("voting", 3, 1.0, replicates=2, events=0)

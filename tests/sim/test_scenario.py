@@ -1,0 +1,117 @@
+"""Unit tests for scenario scripting and the Fig. 1 replay (experiment E1)."""
+
+import pytest
+
+from repro.core import make_protocol
+from repro.errors import ScheduleError
+from repro.sim import (
+    PartitionScenario,
+    figure1_scenario,
+    paper_order,
+    paper_protocols,
+)
+from repro.types import site_names
+
+
+class TestScenarioValidation:
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ScheduleError):
+            PartitionScenario("ABC", [(0.0, [{"A", "B"}, {"B", "C"}])])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ScheduleError):
+            PartitionScenario("ABC", [(0.0, [set()])])
+
+    def test_unknown_sites_rejected(self):
+        with pytest.raises(ScheduleError):
+            PartitionScenario("ABC", [(0.0, [{"Z"}])])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ScheduleError):
+            PartitionScenario(
+                "ABC", [(1.0, [{"A"}]), (1.0, [{"B"}])]
+            )
+
+    def test_no_epochs_rejected(self):
+        with pytest.raises(ScheduleError):
+            PartitionScenario("ABC", [])
+
+    def test_protocol_site_mismatch_rejected(self):
+        scenario = PartitionScenario("ABC", [(0.0, [{"A", "B", "C"}])])
+        with pytest.raises(ScheduleError):
+            scenario.replay(make_protocol("voting", site_names(5)))
+
+
+class TestReplaySemantics:
+    def test_one_attempt_per_group(self):
+        scenario = PartitionScenario(
+            "ABC", [(0.0, [{"A", "B"}, {"C"}])]
+        )
+        trace = scenario.replay(make_protocol("voting", "ABC"))
+        assert len(trace.results[0].decisions) == 2
+
+    def test_at_most_one_group_distinguished_per_epoch(self):
+        scenario = figure1_scenario()
+        for protocol in paper_protocols():
+            trace = scenario.replay(protocol)
+            for result in trace.results:
+                assert len(result.accepted_groups()) <= 1
+
+    def test_unknown_epoch_time_raises(self):
+        scenario = figure1_scenario()
+        trace = scenario.replay(paper_protocols()[0])
+        with pytest.raises(ScheduleError):
+            trace.accepted_at(99.0)
+
+    def test_format_table_mentions_all_groups(self):
+        trace = figure1_scenario().replay(paper_protocols()[0])
+        table = trace.format_table()
+        assert "ABC:" in table and "DE:" in table
+
+
+class TestFigure1Narrative:
+    """The Section VI-A narrative, claim by claim."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return figure1_scenario().replay_all(paper_protocols())
+
+    def test_time0_everyone_accepts(self, traces):
+        for trace in traces.values():
+            assert trace.distinguished_at(0.0) == frozenset("ABCDE")
+
+    def test_time1_all_four_accept_in_abc(self, traces):
+        for trace in traces.values():
+            assert trace.distinguished_at(1.0) == frozenset("ABC")
+
+    def test_time2_dynamic_algorithms_accept_ab_voting_denies(self, traces):
+        assert traces["voting"].distinguished_at(2.0) is None
+        for name in ("dynamic", "dynamic-linear", "hybrid"):
+            assert traces[name].distinguished_at(2.0) == frozenset("AB")
+
+    def test_time3_voting_cde_linear_a_others_deny(self, traces):
+        assert traces["voting"].distinguished_at(3.0) == frozenset("CDE")
+        assert traces["dynamic-linear"].distinguished_at(3.0) == frozenset("A")
+        assert traces["dynamic"].distinguished_at(3.0) is None
+        assert traces["hybrid"].distinguished_at(3.0) is None
+
+    def test_time4_only_linear_and_hybrid_accept(self, traces):
+        assert traces["dynamic-linear"].distinguished_at(4.0) == frozenset("A")
+        assert traces["hybrid"].distinguished_at(4.0) == frozenset("BC")
+        assert traces["voting"].distinguished_at(4.0) is None
+        assert traces["dynamic"].distinguished_at(4.0) is None
+
+    def test_hybrid_partition_larger_than_linears_at_time4(self, traces):
+        hybrid = traces["hybrid"].distinguished_at(4.0)
+        linear = traces["dynamic-linear"].distinguished_at(4.0)
+        assert len(hybrid) > len(linear)
+
+
+class TestPaperOrder:
+    def test_reverse_alphabet(self):
+        assert paper_order(site_names(3)) == ("C", "B", "A")
+
+    def test_paper_protocols_use_it(self):
+        protocols = paper_protocols()
+        for protocol in protocols:
+            assert protocol.greatest({"A", "B"}) == "A"

@@ -1,0 +1,81 @@
+"""Tests for the scenario script parser and timeline renderer."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim import PartitionScenario, figure1_scenario, paper_protocols
+from repro.types import site_names
+
+
+class TestFromScript:
+    def test_fig1_script_equals_builtin(self):
+        script = """
+        # the paper's partition graph
+        0: ABCDE
+        1: ABC / DE
+        2: AB / C / DE
+        3: A / B / CDE
+        4: A / BC / DE
+        """
+        scenario = PartitionScenario.from_script("ABCDE", script)
+        assert scenario.epochs == figure1_scenario().epochs
+
+    def test_comma_and_space_separators(self):
+        scenario = PartitionScenario.from_script(
+            site_names(3), "0: A, B / C\n1: A B C"
+        )
+        assert scenario.epochs[0].groups == (frozenset("AB"), frozenset("C"))
+        assert scenario.epochs[1].groups == (frozenset("ABC"),)
+
+    def test_multicharacter_site_ids(self):
+        scenario = PartitionScenario.from_script(
+            ["node1", "node2"], "0: node1 / node2\n1: node1 node2"
+        )
+        assert scenario.epochs[0].groups == (
+            frozenset({"node1"}),
+            frozenset({"node2"}),
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        scenario = PartitionScenario.from_script(
+            "AB", "\n# comment\n0: AB\n\n"
+        )
+        assert len(scenario.epochs) == 1
+
+    def test_down_sites_are_simply_absent(self):
+        scenario = PartitionScenario.from_script("ABC", "0: AB")
+        assert scenario.epochs[0].groups == (frozenset("AB"),)
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ScheduleError, match="missing ':'"):
+            PartitionScenario.from_script("AB", "0 AB")
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(ScheduleError, match="bad epoch time"):
+            PartitionScenario.from_script("AB", "zero: AB")
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown site token"):
+            PartitionScenario.from_script("AB", "0: AZ")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ScheduleError, match="empty group"):
+            PartitionScenario.from_script("AB", "0: A //")
+
+
+class TestRenderTimeline:
+    def test_plain_rendering(self):
+        text = figure1_scenario().render_timeline()
+        assert "[ABC]  [DE]" in text
+
+    def test_down_sites_marked(self):
+        scenario = PartitionScenario.from_script("ABC", "0: AB")
+        assert "down:C" in scenario.render_timeline()
+
+    def test_annotated_rendering(self):
+        scenario = figure1_scenario()
+        traces = scenario.replay_all(paper_protocols())
+        text = scenario.render_timeline(traces)
+        assert "voting=CDE" in text
+        assert "hybrid=BC" in text
+        assert "dynamic=-" in text

@@ -1,0 +1,115 @@
+"""Unit tests for the failing topology and partition computation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Topology
+from repro.types import site_names
+
+
+class TestBasics:
+    def test_complete_graph_by_default(self):
+        topo = Topology(site_names(4))
+        assert len(topo.links) == 6
+
+    def test_explicit_links(self):
+        topo = Topology("ABC", links=[("A", "B"), ("B", "C")])
+        assert topo.link_is_up("A", "B")
+        assert not topo.link_is_up("A", "C")  # no physical link
+
+    def test_self_link_rejected(self):
+        with pytest.raises(SimulationError):
+            Topology("AB", links=[("A", "A")])
+
+    def test_unknown_link_endpoint_rejected(self):
+        with pytest.raises(SimulationError):
+            Topology("AB", links=[("A", "Z")])
+
+
+class TestSiteFailures:
+    def test_fail_and_repair(self):
+        topo = Topology(site_names(3))
+        topo.fail_site("B")
+        assert not topo.is_up("B")
+        assert topo.up_sites() == frozenset("AC")
+        topo.repair_site("B")
+        assert topo.is_up("B")
+
+    def test_double_fail_rejected(self):
+        topo = Topology(site_names(3))
+        topo.fail_site("B")
+        with pytest.raises(SimulationError):
+            topo.fail_site("B")
+
+    def test_double_repair_rejected(self):
+        topo = Topology(site_names(3))
+        with pytest.raises(SimulationError):
+            topo.repair_site("B")
+
+    def test_unknown_site_rejected(self):
+        topo = Topology(site_names(3))
+        with pytest.raises(SimulationError):
+            topo.fail_site("Z")
+
+
+class TestPartitions:
+    def test_healthy_network_is_one_partition(self):
+        topo = Topology(site_names(5))
+        assert topo.partitions() == (frozenset("ABCDE"),)
+
+    def test_site_failure_shrinks_the_partition(self):
+        topo = Topology(site_names(5))
+        topo.fail_site("C")
+        assert topo.partitions() == (frozenset("ABDE"),)
+
+    def test_link_failures_split_partitions(self):
+        topo = Topology(site_names(4))
+        for a in "AB":
+            for b in "CD":
+                topo.fail_link(a, b)
+        parts = topo.partitions()
+        assert set(parts) == {frozenset("AB"), frozenset("CD")}
+
+    def test_partitions_sorted_largest_first(self):
+        topo = Topology(site_names(5))
+        topo.set_partitions([{"A"}, {"B", "C", "D"}])
+        parts = topo.partitions()
+        assert parts[0] == frozenset("BCD")
+        assert parts[1] == frozenset("A")
+
+    def test_partition_of(self):
+        topo = Topology(site_names(4))
+        topo.set_partitions([{"A", "B"}, {"C"}])
+        assert topo.partition_of("A") == frozenset("AB")
+        assert topo.partition_of("C") == frozenset("C")
+        assert topo.partition_of("D") is None  # down
+
+    def test_chain_topology_partitions(self):
+        # A - B - C: failing B separates A and C.
+        topo = Topology("ABC", links=[("A", "B"), ("B", "C")])
+        topo.fail_site("B")
+        assert set(topo.partitions()) == {frozenset("A"), frozenset("C")}
+
+
+class TestSetPartitions:
+    def test_set_partitions_downs_unlisted_sites(self):
+        topo = Topology(site_names(5))
+        topo.set_partitions([{"A", "B"}, {"D", "E"}])
+        assert not topo.is_up("C")
+        assert set(topo.partitions()) == {frozenset("AB"), frozenset("DE")}
+
+    def test_overlapping_groups_rejected(self):
+        topo = Topology(site_names(3))
+        with pytest.raises(SimulationError):
+            topo.set_partitions([{"A", "B"}, {"B", "C"}])
+
+    def test_unknown_sites_rejected(self):
+        topo = Topology(site_names(3))
+        with pytest.raises(SimulationError):
+            topo.set_partitions([{"Z"}])
+
+    def test_successive_layouts(self):
+        topo = Topology(site_names(5))
+        topo.set_partitions([{"A", "B", "C"}, {"D", "E"}])
+        topo.set_partitions([{"A", "B", "C", "D", "E"}])
+        assert topo.partitions() == (frozenset("ABCDE"),)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.protocol == "hybrid"
+        assert args.sites == 5
+
+
+class TestCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "-n", "4", "-r", "1.0", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out and "voting" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol: hybrid" in out
+        assert "ACCEPT" in out
+
+    def test_chain_dump(self, capsys):
+        assert main(["chain", "--protocol", "hybrid", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 states" in out
+        assert "(2, 3, 0)" in out
+
+    def test_chain_dump_other_protocol(self, capsys):
+        assert main(["chain", "--protocol", "dynamic", "-n", "3"]) == 0
+        assert "states" in capsys.readouterr().out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0.66" in out  # 0.665 bracket
+
+    def test_figure(self, capsys):
+        assert main(["figure", "3", "--steps", "4"]) == 0
+        assert "mu/lambda" in capsys.readouterr().out
+
+    def test_theorem3_small_range(self, capsys):
+        assert main(["theorem3", "--n-min", "3", "--n-max", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0.82" in out
+
+    def test_simulate_agrees(self, capsys):
+        code = main([
+            "simulate", "--protocol", "voting", "-n", "3",
+            "-r", "1.0", "--events", "4000", "--replicates", "4",
+        ])
+        assert code == 0
+        assert "analytic" in capsys.readouterr().out
+
+    def test_proof(self, capsys):
+        assert main(["proof", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Descartes" in out
+        assert "0.82" in out
+
+    def test_transient(self, capsys):
+        assert main(["transient", "-n", "4", "-r", "2.0", "-t", "0", "1", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mean time to first blocking" in out
+        assert "1.0000" in out  # A(0) = 1
+
+
+class TestArtifactCommand:
+    def test_artifact_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "artifact.json"
+        assert main(["artifact", "--output", str(path), "--n-max", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert set(data["theorem3"]) == {"3", "4"}

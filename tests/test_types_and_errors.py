@@ -1,0 +1,102 @@
+"""Unit tests for the shared primitives and the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.types import canonical_order, site_names, validate_sites
+
+
+class TestSiteNames:
+    def test_letters_first(self):
+        assert site_names(3) == ("A", "B", "C")
+        assert site_names(26)[-1] == "Z"
+
+    def test_numbered_beyond_the_alphabet(self):
+        names = site_names(30)
+        assert names[26] == "S26"
+        assert len(set(names)) == 30
+
+    def test_zero_sites(self):
+        assert site_names(0) == ()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            site_names(-1)
+
+
+class TestCanonicalOrder:
+    def test_sorted(self):
+        assert canonical_order({"C", "A", "B"}) == ("A", "B", "C")
+
+    def test_idempotent(self):
+        once = canonical_order("CBA")
+        assert canonical_order(once) == once
+
+
+class TestValidateSites:
+    def test_roundtrip(self):
+        assert validate_sites(["B", "A"]) == ("B", "A")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_sites([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            validate_sites(["A", "A"])
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_domain_parents(self):
+        assert issubclass(errors.MetadataInvariantError, errors.ProtocolError)
+        assert issubclass(errors.DeadlockError, errors.LockError)
+        assert issubclass(errors.LockError, errors.SimulationError)
+        assert issubclass(errors.ScheduleError, errors.SimulationError)
+        assert issubclass(errors.NetworkError, errors.SimulationError)
+        assert issubclass(errors.ChainError, errors.AnalysisError)
+        assert issubclass(errors.SingularSystemError, errors.AlgebraError)
+
+    def test_one_catch_all(self):
+        try:
+            raise errors.QuorumDenied("nope")
+        except errors.ReproError as exc:
+            assert "nope" in str(exc)
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.markov
+        import repro.netsim
+        import repro.quorums
+        import repro.ratfunc
+        import repro.reassignment
+        import repro.sim
+
+        for module in (
+            repro.analysis,
+            repro.markov,
+            repro.netsim,
+            repro.quorums,
+            repro.ratfunc,
+            repro.reassignment,
+            repro.sim,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
