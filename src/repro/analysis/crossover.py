@@ -105,7 +105,9 @@ def numeric_crossover(
     points = [low * (high / low) ** (i / 200) for i in range(201)]
     values = [diff(p) for p in points]
     for (p0, v0), (p1, v1) in zip(zip(points, values), zip(points[1:], values[1:])):
-        if v0 == 0.0:
+        # An exact zero means the grid point *is* the root; any
+        # tolerance here would shadow the Brent refinement below.
+        if v0 == 0.0:  # replint: disable=REP003
             return p0
         if (v0 < 0) != (v1 < 0):
             return float(brentq(diff, p0, p1, xtol=1e-12))

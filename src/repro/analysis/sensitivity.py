@@ -15,7 +15,6 @@ crossover result.
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 from scipy.optimize import brentq
 
@@ -61,7 +60,9 @@ def traditional_crossover(
     for (p0, v0), (p1, v1) in zip(
         zip(points, values), zip(points[1:], values[1:])
     ):
-        if v0 == 0.0:
+        # An exact zero means the grid point *is* the root; any
+        # tolerance here would shadow the Brent refinement below.
+        if v0 == 0.0:  # replint: disable=REP003
             return p0
         if (v0 < 0) != (v1 < 0):
             return float(brentq(difference, p0, p1, xtol=1e-10))

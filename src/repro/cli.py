@@ -9,6 +9,7 @@ Subcommands map to the experiment index of DESIGN.md::
     repro compare -n 5 -r 0.5 1 2 5   # availability matrix
     repro simulate --protocol hybrid -n 5 -r 1.0  # E9: MC vs analytic
     repro crossover --first hybrid --second dynamic -n 5
+    repro lint src/repro                # replint static analysis
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from .lint import runner as lint_runner
 from .analysis import (
     certified_crossover,
     comparison_table,
@@ -89,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", default="reproduction_artifact.json")
     p.add_argument("--n-max", type=int, default=8)
+
+    p = sub.add_parser(
+        "lint",
+        help="run replint, the repo's AST-based invariant linter",
+        description=(
+            "Static analysis enforcing the paper's conventions (REP001-"
+            "REP008): RNG/substream hygiene, no wall clock in simulated "
+            "code, metadata immutability, registry coverage, layering.  "
+            "See docs/LINTING.md."
+        ),
+    )
+    lint_runner.configure_parser(p)
 
     p = sub.add_parser(
         "transient", help="availability over time from a healthy start"
@@ -183,6 +197,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{len(results)} sections"
         )
         return 0
+    if args.command == "lint":
+        return lint_runner.run_from_args(args)
     if args.command == "transient":
         chain = chain_for(args.protocol, args.sites)
         values = transient_availability(chain, args.ratio, args.times)

@@ -18,7 +18,7 @@ import abc
 from collections.abc import Iterable, Mapping, Sequence
 
 from ..errors import ProtocolError
-from ..types import Partition, SiteId, canonical_order, validate_sites
+from ..types import SiteId, canonical_order, validate_sites
 from .decision import QuorumDecision, Rule, UpdateContext, UpdateOutcome
 from .metadata import ReplicaMetadata, partition_summary
 

@@ -5,7 +5,8 @@ API: it owns one copy of the file per site (data plus metadata), routes
 reads and writes through the protocol's quorum machinery, performs the
 catch-up phase for stale partition members, and keeps a committed-write log
 that tests and the consistency checker use to verify one-copy behaviour
-(every committed version forms a single linear chain).
+(every committed version forms a single linear chain -- the mutual
+consistency goal of Section II and the substance of Theorem 1).
 
 It deliberately models the *state* semantics of the protocol -- who may
 commit, what metadata results -- not the message exchanges; the message
@@ -15,7 +16,7 @@ level (locks, two-phase commit, restart) lives in :mod:`repro.netsim`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from typing import Any
 
 from ..errors import QuorumDenied

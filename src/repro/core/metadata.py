@@ -19,7 +19,7 @@ never leak mutations between sites.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
 from ..errors import MetadataInvariantError

@@ -15,6 +15,7 @@ from ..types import SiteId
 from .base import ReplicaControlProtocol
 from .dynamic_linear import DynamicLinearProtocol
 from .dynamic_voting import DynamicVotingProtocol
+from .generalized import GeneralizedHybridProtocol
 from .hybrid import HybridProtocol
 from .static_voting import (
     MajorityVotingProtocol,
@@ -38,6 +39,7 @@ PROTOCOLS: dict[str, ProtocolFactory] = {
     DynamicVotingProtocol.name: DynamicVotingProtocol,
     DynamicLinearProtocol.name: DynamicLinearProtocol,
     HybridProtocol.name: HybridProtocol,
+    GeneralizedHybridProtocol.name: GeneralizedHybridProtocol,
     ModifiedHybridProtocol.name: ModifiedHybridProtocol,
     OptimalCandidateProtocol.name: OptimalCandidateProtocol,
     PrimarySiteVotingProtocol.name: PrimarySiteVotingProtocol,

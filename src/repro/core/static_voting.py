@@ -32,7 +32,9 @@ __all__ = [
 ]
 
 
-class WeightedVotingProtocol(ReplicaControlProtocol):
+# Unregistered by design: parameterised by an arbitrary vote assignment;
+# its all-defaults instantiation is registered as MajorityVotingProtocol.
+class WeightedVotingProtocol(ReplicaControlProtocol):  # replint: disable=REP005
     """Gifford-style static voting with an arbitrary vote assignment.
 
     A partition is distinguished iff the votes of its members sum to more
@@ -221,7 +223,8 @@ class PrimaryCopyProtocol(ReplicaControlProtocol):
 
     The distinguished partition is whichever partition contains the primary
     site, regardless of its size.  Included as the classical low-availability
-    baseline against which voting schemes are traditionally motivated.
+    baseline against which voting schemes are traditionally motivated
+    (the Section I survey of replica control approaches).
     """
 
     name = "primary-copy"

@@ -1,0 +1,50 @@
+"""replint: the repo-specific AST linter guarding the paper's invariants.
+
+The test suite checks what the code *does*; replint checks the conventions
+the safety argument assumes but dynamic tests cannot see -- Section V-A
+metadata immutability, deterministic replay of the Section VI stochastic
+model, registry reachability of every protocol, and the layer diagram of
+``docs/ARCHITECTURE.md``.  See ``docs/LINTING.md`` for the rule catalogue
+and the suppression/baseline workflow.
+
+Public API::
+
+    from repro.lint import lint_paths, all_rules, Baseline
+
+    result = lint_paths(["src/repro"])
+    result.exit_code      # 0 iff clean against the (empty) baseline
+"""
+
+from __future__ import annotations
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .findings import Finding, Severity
+from .registry import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+)
+from .runner import LintResult, lint_paths, run
+from .suppressions import Suppressions
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "LintResult",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "run",
+]

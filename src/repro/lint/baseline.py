@@ -1,0 +1,88 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file mapping finding fingerprints to a small
+description of the finding at the time it was recorded.  ``repro lint``
+exits nonzero only for findings *not* in the baseline, so legacy debt can
+be ratcheted down without blocking CI; ``repro lint --write-baseline``
+re-records the current state after a deliberate re-baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+#: Default baseline file name, looked up relative to the working directory.
+DEFAULT_BASELINE = ".replint-baseline.json"
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprints of findings accepted as pre-existing debt."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(entries=dict(data.get("findings", {})))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline accepting exactly ``findings``."""
+        entries = {
+            f.fingerprint: {
+                "rule": f.rule,
+                "path": f.rel_path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        }
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        payload = {
+            "version": FORMAT_VERSION,
+            "findings": {
+                fp: self.entries[fp]
+                for fp in sorted(
+                    self.entries,
+                    key=lambda fp: (
+                        self.entries[fp].get("path", ""),
+                        self.entries[fp].get("line", 0),
+                        self.entries[fp].get("rule", ""),
+                        fp,
+                    ),
+                )
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered."""
+        return finding.fingerprint in self.entries
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, baselined)."""
+        new = [f for f in findings if not self.contains(f)]
+        old = [f for f in findings if self.contains(f)]
+        return new, old

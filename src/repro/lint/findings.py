@@ -1,0 +1,103 @@
+"""Finding and severity primitives shared by every replint rule.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are identified across commits by a *fingerprint* -- a hash of the rule
+code, the file's package-relative path, the stripped text of the offending
+line, and an occurrence counter.  Line numbers are deliberately excluded so
+that unrelated edits moving a grandfathered finding up or down the file do
+not invalidate the committed baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How loudly a rule complains; ordering is by seriousness."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = ("info", "warning", "error")
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return order.index(self.value) < order.index(other.value)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the path as given to the runner (for display); ``rel_path``
+    is the package-relative path (for fingerprints), so moving a checkout
+    does not churn the baseline.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    rel_path: str
+    line: int
+    message: str
+    line_text: str = ""
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this finding for baseline matching."""
+        payload = "\x1f".join(
+            (self.rule, self.rel_path, self.line_text.strip(), str(self.occurrence))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    def render(self) -> str:
+        """The one-line human-readable form used by text output."""
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity.value}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form used by ``repro lint --json``."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "rel_path": self.rel_path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that share (rule, rel_path, line text) 0, 1, 2...
+
+    Duplicate violations on textually identical lines would otherwise
+    collapse to one fingerprint, letting a second new violation hide behind
+    a baselined first one.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    numbered = []
+    for finding in sorted(findings, key=lambda f: (f.rel_path, f.line, f.rule)):
+        key = (finding.rule, finding.rel_path, finding.line_text.strip())
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        numbered.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                rel_path=finding.rel_path,
+                line=finding.line,
+                message=finding.message,
+                line_text=finding.line_text,
+                occurrence=index,
+            )
+        )
+    return numbered

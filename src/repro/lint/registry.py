@@ -1,0 +1,158 @@
+"""Rule base classes, contexts, and the replint rule registry.
+
+Rules come in two shapes:
+
+* :class:`FileRule` -- sees one parsed file at a time (most rules).
+* :class:`ProjectRule` -- sees every parsed file at once, for cross-file
+  invariants such as "every protocol subclass is registered" (REP005).
+
+Both register themselves via the :func:`register` decorator, mirroring the
+protocol registry in :mod:`repro.core.registry`: the runner, the CLI and
+the tests all discover rules by code through :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from .findings import Finding, Severity
+
+#: First-level directories of the ``repro`` package, lowest layer first.
+#: Used by path scoping and by the REP008 layering rule.
+PACKAGE_NAME = "repro"
+
+
+@dataclass
+class FileContext:
+    """One source file, parsed and located relative to the package root.
+
+    ``rel_path`` uses POSIX separators and is relative to the ``repro``
+    package directory (``sim/model.py``); for files outside any ``repro``
+    package tree it degrades to the file name and ``in_package`` is False.
+    Rules that scope themselves to package directories treat out-of-package
+    files as in scope for *every* rule, so scratch snippets get the full
+    battery -- which is what the rule unit tests rely on.
+    """
+
+    path: str
+    rel_path: str
+    in_package: bool
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of 1-based ``lineno`` ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_dirs(self, *dirs: str) -> bool:
+        """Whether this file is under one of the package directories.
+
+        Out-of-package files (scratch snippets) always count as in scope.
+        """
+        if not self.in_package:
+            return True
+        parts = PurePosixPath(self.rel_path).parts
+        return bool(parts) and parts[0] in dirs
+
+    def is_file(self, rel: str) -> bool:
+        """Whether this is exactly the package file ``rel`` (POSIX path)."""
+        return self.in_package and self.rel_path == rel
+
+
+@dataclass
+class ProjectContext:
+    """Every file of one lint invocation, for cross-file rules."""
+
+    files: list[FileContext]
+
+    def find(self, rel: str) -> FileContext | None:
+        """The package file with relative path ``rel``, if linted."""
+        for ctx in self.files:
+            if ctx.is_file(rel):
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class carrying a rule's identity and documentation."""
+
+    #: ``REPnnn`` code used in output, suppressions and the baseline.
+    code: str = ""
+    #: Short slug for documentation tables.
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line description shown in output and ``docs/LINTING.md``.
+    description: str = ""
+    #: The paper invariant or engineering convention the rule protects.
+    rationale: str = ""
+
+    def finding(self, ctx: FileContext, lineno: int, message: str) -> Finding:
+        """Construct a finding against ``ctx`` at ``lineno``."""
+        return Finding(
+            rule=self.code,
+            severity=self.severity,
+            path=ctx.path,
+            rel_path=ctx.rel_path,
+            line=lineno,
+            message=message,
+            line_text=ctx.line_text(lineno),
+        )
+
+
+class FileRule(Rule):
+    """A rule evaluated against one file at a time."""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated against the whole set of linted files."""
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, keyed by code, import side effects included."""
+    from . import rules as _rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_RULES.items()))
+
+
+def walk_with_parents(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield every node with its ancestor stack (outermost first)."""
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+        yield node, list(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    for top in ast.iter_child_nodes(tree):
+        yield from visit(top)

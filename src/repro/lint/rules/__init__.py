@@ -1,0 +1,23 @@
+"""The built-in REP rule set; importing this package registers every rule.
+
+Rule modules, by concern:
+
+* :mod:`.determinism` -- REP001 (RNG hygiene), REP002 (no wall clock)
+* :mod:`.numerics` -- REP003 (no exact float equality)
+* :mod:`.metadata` -- REP004 (ReplicaMetadata immutability)
+* :mod:`.protocols` -- REP005 (registry coverage), REP006 (no swallowed
+  exceptions)
+* :mod:`.docs` -- REP007 (public docstrings cite the paper)
+* :mod:`.layering` -- REP008 (layer diagram enforcement)
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for their @register side effects)
+    determinism,
+    docs,
+    layering,
+    metadata,
+    numerics,
+    protocols,
+)

@@ -1,0 +1,136 @@
+"""REP001/REP002: randomness and wall-clock hygiene.
+
+The stochastic experiments are replayable only because every source of
+randomness flows through the named substreams of
+:class:`repro.sim.rng.RandomStreams` and every notion of time is simulated
+time.  These rules keep it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, FileRule, register
+
+#: The only module allowed to touch the stdlib/NumPy RNGs directly.
+RNG_MODULE = "sim/rng.py"
+
+#: Directories whose code must never read the wall clock.
+REPLAYABLE_DIRS = ("sim", "netsim", "markov")
+
+
+@register
+class NoDirectRandom(FileRule):
+    """REP001: all randomness flows through ``RandomStreams`` substreams."""
+
+    code = "REP001"
+    name = "no-direct-random"
+    severity = Severity.ERROR
+    description = (
+        "direct use of `random` or `numpy.random` outside sim/rng.py; "
+        "draw from a named RandomStreams substream instead"
+    )
+    rationale = (
+        "Deterministic replay (DESIGN.md, common-random-numbers hygiene): "
+        "an unnamed RNG perturbs every downstream experiment when a new "
+        "consumer of randomness appears."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.is_file(RNG_MODULE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random" or alias.name.startswith("numpy.random"):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"direct `import {alias.name}` (only sim/rng.py may "
+                            "touch the RNG modules)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                if module == "random" or module.startswith("numpy.random"):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"direct `from {module} import ...` (route through "
+                        "RandomStreams substreams)",
+                    )
+                elif module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx, node.lineno, "direct `from numpy import random`"
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "random":
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in ("np", "numpy"):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"direct `{value.id}.random` access (use a "
+                        "RandomStreams substream)",
+                    )
+
+
+@register
+class NoWallClock(FileRule):
+    """REP002: simulated components must not consult the wall clock."""
+
+    code = "REP002"
+    name = "no-wall-clock"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock access (time.time, datetime.now, perf_counter) in "
+        "sim/, netsim/ or markov/"
+    )
+    rationale = (
+        "Replayability: simulation and chain code is parameterised by "
+        "*model* time only; wall-clock reads make traces unreproducible."
+    )
+
+    _CLOCK_ATTRS = {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+    _CLOCK_NAMES = {"perf_counter", "perf_counter_ns", "monotonic", "time_ns"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dirs(*REPLAYABLE_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                base_name = base.id if isinstance(base, ast.Name) else None
+                # Matches time.time(), datetime.now(), datetime.datetime.now()
+                if isinstance(base, ast.Attribute):
+                    base_name = base.attr
+                if (base_name, func.attr) in self._CLOCK_ATTRS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"wall-clock call `{base_name}.{func.attr}()` in "
+                        "replayable code",
+                    )
+            elif isinstance(func, ast.Name) and func.id in self._CLOCK_NAMES:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"wall-clock call `{func.id}()` in replayable code",
+                )

@@ -1,0 +1,95 @@
+"""REP007: public API in core/ and markov/ stays anchored to the paper.
+
+The reproduction's documentation convention is that every public function
+is traceable to the construct it implements: a section, theorem, figure or
+named routine (``Is_Distinguished``, ``Do_Update``, ``Catch_Up``) of the
+paper.  The citation may live on the function itself or on its enclosing
+class or module docstring -- a module implementing one section cites it
+once at the top rather than on all ten helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, FileRule, register
+
+#: Directories whose public API must cite the paper.
+DOCUMENTED_DIRS = ("core", "markov")
+
+#: What counts as a citation anywhere in the docstring chain.
+CITATION_RE = re.compile(
+    r"(?:Section|SECTION|Theorem|Lemma|Corollary|Proposition|Assumption"
+    r"|Fig(?:\.|ure)|footnote|Eq\.|§"
+    r"|\b[IVX]{1,4}-[A-Z]\b"  # the paper's section labels, e.g. V-A, VI-B
+    r"|\[\d+\]"  # bracketed reference numbers, e.g. [21]
+    r"|\bSIGMOD\b|\bVLDB\b|\bPODC\b|\bTODS\b"
+    r"|Is_Distinguished|Do_Update|Catch_Up"
+    r"|\bpaper\b|\bJajodia\b|\bMutchler\b)"
+)
+
+
+@register
+class PublicDocstringsCitePaper(FileRule):
+    """REP007: public functions have docstrings whose chain cites the paper."""
+
+    code = "REP007"
+    name = "docstrings-cite-paper"
+    severity = Severity.WARNING
+    description = (
+        "public function in core/ or markov/ without a docstring, or whose "
+        "function/class/module docstring chain never cites the paper"
+    )
+    rationale = (
+        "Traceability: the safety argument leans on code being checkable "
+        "against Section V's routines; an uncited public function is "
+        "unreviewable against the paper."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dirs(*DOCUMENTED_DIRS):
+            return
+        module_doc = ast.get_docstring(ctx.tree) or ""
+        module_cites = bool(CITATION_RE.search(module_doc))
+        yield from self._check_body(ctx, ctx.tree.body, None, module_cites)
+
+    def _check_body(
+        self,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        class_node: ast.ClassDef | None,
+        chain_cites: bool,
+    ) -> Iterable[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                class_doc = ast.get_docstring(node) or ""
+                cites = chain_cites or bool(CITATION_RE.search(class_doc))
+                yield from self._check_body(ctx, node.body, node, cites)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                doc = ast.get_docstring(node)
+                where = (
+                    f"method {class_node.name}.{node.name}"
+                    if class_node is not None
+                    else f"function {node.name}"
+                )
+                if doc is None:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"public {where} has no docstring",
+                    )
+                elif not (chain_cites or CITATION_RE.search(doc)):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"public {where}: neither its docstring nor its "
+                        "class/module docstring cites a paper section, "
+                        "theorem or routine",
+                    )

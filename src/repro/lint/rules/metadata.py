@@ -1,0 +1,101 @@
+"""REP004: replica metadata is immutable outside core/ commit paths.
+
+Section V-A attaches a (VN, SC, DS) triple to every copy;
+:class:`repro.core.metadata.ReplicaMetadata` is a frozen dataclass so the
+simulation substrates can share instances between sites without mutation
+leaking across the partition graph.  This rule catches the two ways Python
+lets that guarantee erode:
+
+* assignment (or ``del``) to a metadata field -- ``meta.version = 3`` --
+  anywhere outside ``core/``;
+* ``object.__setattr__`` used to punch through ``frozen=True`` anywhere
+  except a frozen dataclass's own ``__post_init__`` canonicalisation
+  (the one sanctioned idiom, used by ``ReplicaMetadata`` itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, FileRule, register, walk_with_parents
+
+#: Field names of ReplicaMetadata (and its VoteLedger sibling).
+METADATA_FIELDS = {"version", "cardinality", "distinguished", "votes"}
+
+#: The package that owns metadata commit paths.
+COMMIT_DIR = "core"
+
+
+@register
+class NoMetadataMutation(FileRule):
+    """REP004: no writes to metadata fields, no frozen-dataclass bypass."""
+
+    code = "REP004"
+    name = "no-metadata-mutation"
+    severity = Severity.ERROR
+    description = (
+        "mutation of ReplicaMetadata fields or object.__setattr__ "
+        "immutability bypass outside core/ commit paths"
+    )
+    rationale = (
+        "Section V-A metadata discipline: protocols install *fresh* "
+        "metadata on commit; shared instances must never be written in "
+        "place or catch-up semantics silently break (Theorem 1)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        in_core = ctx.in_package and ctx.in_dirs(COMMIT_DIR)
+        for node, parents in walk_with_parents(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)) and not in_core:
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in METADATA_FIELDS
+                        and not self._is_self_write(target, parents)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"write to metadata field `.{target.attr}` outside "
+                            "core/; produce a fresh instance instead",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "object"
+                    and not self._in_post_init(node, parents)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "`object.__setattr__` outside a frozen dataclass's "
+                        "__post_init__ bypasses immutability",
+                    )
+
+    @staticmethod
+    def _is_self_write(target: ast.Attribute, parents: list[ast.AST]) -> bool:
+        """``self.version = ...`` inside a class defining its own field."""
+        if not (isinstance(target.value, ast.Name) and target.value.id == "self"):
+            return False
+        return any(isinstance(p, ast.ClassDef) for p in parents)
+
+    @staticmethod
+    def _in_post_init(node: ast.Call, parents: list[ast.AST]) -> bool:
+        """Whether the call sits inside ``__post_init__`` and targets self."""
+        if not any(
+            isinstance(p, ast.FunctionDef) and p.name == "__post_init__"
+            for p in parents
+        ):
+            return False
+        args = node.args
+        return bool(args) and isinstance(args[0], ast.Name) and args[0].id == "self"

@@ -1,0 +1,73 @@
+"""REP003: no exact float equality in the availability mathematics.
+
+The Markov and rational-function layers compute availabilities as ratios
+of polynomials in mu/lambda; comparing those with ``==`` silently turns a
+numerically-fuzzy question into a bit-pattern question.  Theorem 3's
+crossover certification exists precisely because exact comparisons of
+availability values are meaningless -- use ``math.isclose``, interval
+brackets, or the exact :mod:`repro.ratfunc` arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..findings import Finding, Severity
+from ..registry import FileContext, FileRule, register
+
+#: Directories doing availability arithmetic.
+NUMERIC_DIRS = ("markov", "analysis", "ratfunc")
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Whether ``node`` is syntactically certain to be a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in ("sqrt", "exp", "log"):
+            return True
+    return False
+
+
+@register
+class NoFloatEquality(FileRule):
+    """REP003: flag ``==``/``!=`` against float expressions."""
+
+    code = "REP003"
+    name = "no-float-equality"
+    severity = Severity.WARNING
+    description = (
+        "exact float ==/!= comparison in markov/, analysis/ or ratfunc/"
+    )
+    rationale = (
+        "Theorem 3 discipline: availability values are ratios of "
+        "polynomials evaluated in floating point; exact equality is "
+        "either vacuous or a latent bug.  Compare with math.isclose or "
+        "the exact ratfunc arithmetic."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dirs(*NUMERIC_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(left) or _is_float_expr(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"exact float `{symbol}` comparison; use math.isclose "
+                        "or exact ratfunc arithmetic",
+                    )
+                    break

@@ -1,0 +1,251 @@
+"""REP005/REP006: protocol registry coverage and exception hygiene.
+
+REP005 is the cross-file rule: every concrete
+:class:`~repro.core.base.ReplicaControlProtocol` subclass must define a
+``name`` and be reachable through ``core.registry.PROTOCOLS`` -- otherwise
+the CLI, the comparison tables and the Markov validation sweeps silently
+skip it.  REP006 keeps protocol/simulator code from swallowing the
+invariant errors (:class:`MetadataInvariantError`, :class:`ProtocolError`)
+that the safety argument relies on surfacing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..findings import Finding, Severity
+from ..registry import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    register,
+)
+
+#: Root of the protocol class hierarchy.
+PROTOCOL_BASE = "ReplicaControlProtocol"
+
+#: Package-relative path of the registry module.
+REGISTRY_FILE = "core/registry.py"
+
+#: Directories whose code must not swallow exceptions.
+PROTOCOL_DIRS = ("core", "sim", "netsim", "reassignment", "quorums")
+
+
+@dataclass
+class _ClassInfo:
+    ctx: FileContext
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    defines_name: bool = False
+    has_abstract: bool = False
+    registered: bool = field(default=False, compare=False)
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _collect_classes(project: ProjectContext) -> dict[str, _ClassInfo]:
+    classes: dict[str, _ClassInfo] = {}
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _ClassInfo(ctx=ctx, node=node, bases=_base_names(node))
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    targets = [
+                        t.id for t in item.targets if isinstance(t, ast.Name)
+                    ]
+                    if "name" in targets:
+                        info.defines_name = True
+                elif isinstance(item, ast.AnnAssign):
+                    if (
+                        isinstance(item.target, ast.Name)
+                        and item.target.id == "name"
+                        and item.value is not None
+                    ):
+                        info.defines_name = True
+                elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for deco in item.decorator_list:
+                        deco_name = (
+                            deco.id
+                            if isinstance(deco, ast.Name)
+                            else deco.attr
+                            if isinstance(deco, ast.Attribute)
+                            else ""
+                        )
+                        if deco_name == "abstractmethod":
+                            info.has_abstract = True
+            classes[node.name] = info
+    return classes
+
+
+def _registered_classes(registry_ctx: FileContext) -> frozenset[str]:
+    """Class names appearing as values of the ``PROTOCOLS`` dict literal."""
+    registered: set[str] = set()
+    for node in ast.walk(registry_ctx.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        named = [
+            t for t in targets if isinstance(t, ast.Name) and t.id == "PROTOCOLS"
+        ]
+        if not named or not isinstance(node.value, ast.Dict):
+            continue
+        for value in node.value.values:
+            if isinstance(value, ast.Name):
+                registered.add(value.id)
+            elif isinstance(value, ast.Attribute):
+                registered.add(value.attr)
+            elif isinstance(value, ast.Lambda) or isinstance(value, ast.Call):
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Name):
+                        registered.add(inner.id)
+    return frozenset(registered)
+
+
+@register
+class ProtocolsRegistered(ProjectRule):
+    """REP005: concrete protocol subclasses are named and registered."""
+
+    code = "REP005"
+    name = "protocols-registered"
+    severity = Severity.ERROR
+    description = (
+        "ReplicaControlProtocol subclass without a `name` or missing from "
+        "core.registry.PROTOCOLS"
+    )
+    rationale = (
+        "Reachability: the CLI, comparison tables and validation sweeps "
+        "select protocols through the registry; an unregistered protocol "
+        "is dead code the evaluation silently ignores."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        classes = _collect_classes(project)
+        subclasses = self._transitive_subclasses(classes)
+        registry_ctx = project.find(REGISTRY_FILE)
+        registered = (
+            _registered_classes(registry_ctx) if registry_ctx else None
+        )
+        for name in sorted(subclasses):
+            info = classes[name]
+            if name.startswith("_") or name == PROTOCOL_BASE:
+                continue
+            if info.has_abstract:
+                continue
+            if not self._name_defined(name, classes):
+                yield self.finding(
+                    info.ctx,
+                    info.node.lineno,
+                    f"protocol class {name} defines no `name` identifier",
+                )
+            if registered is not None and name not in registered:
+                yield self.finding(
+                    info.ctx,
+                    info.node.lineno,
+                    f"protocol class {name} is not registered in "
+                    "core.registry.PROTOCOLS",
+                )
+
+    @staticmethod
+    def _transitive_subclasses(classes: dict[str, _ClassInfo]) -> set[str]:
+        subclasses: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, info in classes.items():
+                if name in subclasses:
+                    continue
+                if any(
+                    base == PROTOCOL_BASE or base in subclasses
+                    for base in info.bases
+                ):
+                    subclasses.add(name)
+                    changed = True
+        return subclasses
+
+    @staticmethod
+    def _name_defined(name: str, classes: dict[str, _ClassInfo]) -> bool:
+        """Whether the class or a non-root ancestor defines ``name``."""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current == PROTOCOL_BASE:
+                continue
+            seen.add(current)
+            info = classes.get(current)
+            if info is None:
+                continue
+            if info.defines_name:
+                return True
+            stack.extend(info.bases)
+        return False
+
+
+@register
+class NoSwallowedExceptions(FileRule):
+    """REP006: no bare ``except:`` or silent ``except Exception: pass``."""
+
+    code = "REP006"
+    name = "no-swallowed-exceptions"
+    severity = Severity.ERROR
+    description = (
+        "bare `except:` or `except Exception` whose body only passes, in "
+        "protocol/simulator code"
+    )
+    rationale = (
+        "MetadataInvariantError and ProtocolError are the safety net for "
+        "states the protocols must never produce (Theorem 1); swallowing "
+        "them converts an invariant violation into silent corruption."
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dirs(*PROTOCOL_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node.lineno, "bare `except:` hides invariant errors"
+                )
+                continue
+            type_name = (
+                node.type.id
+                if isinstance(node.type, ast.Name)
+                else node.type.attr
+                if isinstance(node.type, ast.Attribute)
+                else ""
+            )
+            if type_name in self._BROAD and self._only_passes(node.body):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"`except {type_name}` silently swallows the error",
+                )
+
+    @staticmethod
+    def _only_passes(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or ellipsis
+            return False
+        return True

@@ -1,0 +1,285 @@
+"""replint's driver: discover files, run rules, filter, report.
+
+The pipeline is deliberately simple and deterministic:
+
+1. discover ``.py`` files under the given paths (sorted, ``__pycache__``
+   skipped) and parse each once;
+2. run every file rule on every file and every project rule on the whole
+   set;
+3. drop findings silenced by inline ``# replint: disable=`` directives;
+4. split the remainder against the committed baseline -- only *new*
+   findings affect the exit code.
+
+Files that fail to parse produce a synthetic ``REP000`` error finding
+rather than crashing the run, so the linter itself never masks a syntax
+error behind a traceback.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .findings import Finding, Severity, assign_occurrences
+from .registry import (
+    PACKAGE_NAME,
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    all_rules,
+)
+from .suppressions import Suppressions
+
+__all__ = ["LintResult", "lint_paths", "run", "main"]
+
+
+def _relativize(path: Path) -> tuple[str, bool]:
+    """Package-relative POSIX path and whether the file is in-package."""
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == PACKAGE_NAME:
+            inside = parts[index + 1 :]
+            if inside:
+                return "/".join(inside), True
+    return path.name, False
+
+
+def discover(paths: list[str]) -> list[Path]:
+    """All ``.py`` files under ``paths``, sorted for stable output."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean against the baseline, 1 when new findings exist."""
+        return 1 if self.new else 0
+
+    def render_text(self) -> str:
+        """Human-readable report."""
+        lines = [f.render() for f in self.new]
+        summary = (
+            f"replint: {self.files} files, {len(self.new)} new finding(s), "
+            f"{len(self.baselined)} baselined, {self.suppressed} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report (stable key order)."""
+        return json.dumps(
+            {
+                "files": self.files,
+                "new": [f.to_json() for f in self.new],
+                "baselined": [f.to_json() for f in self.baselined],
+                "suppressed": self.suppressed,
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+        )
+
+
+def _parse_file(path: Path) -> FileContext | None:
+    rel, in_package = _relativize(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"replint: cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        # Report as a finding (REP000) instead of crashing the run.
+        broken = FileContext(
+            path=str(path),
+            rel_path=rel,
+            in_package=in_package,
+            text=text,
+            tree=ast.Module(body=[], type_ignores=[]),
+        )
+        broken.syntax_error = exc  # type: ignore[attr-defined]
+        return broken
+    return FileContext(
+        path=str(path), rel_path=rel, in_package=in_package, text=text, tree=tree
+    )
+
+
+def lint_paths(
+    paths: list[str],
+    baseline: Baseline | None = None,
+    select: frozenset[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` against ``baseline`` (empty when None).
+
+    ``select`` restricts the run to the given rule codes -- the rule unit
+    tests use it to exercise one rule at a time.
+    """
+    rules = all_rules()
+    if select is not None:
+        rules = {code: rule for code, rule in rules.items() if code in select}
+    contexts = []
+    raw: list[Finding] = []
+    for path in discover(paths):
+        ctx = _parse_file(path)
+        if ctx is None:
+            continue
+        error = getattr(ctx, "syntax_error", None)
+        if error is not None:
+            raw.append(
+                Finding(
+                    rule="REP000",
+                    severity=Severity.ERROR,
+                    path=ctx.path,
+                    rel_path=ctx.rel_path,
+                    line=error.lineno or 1,
+                    message=f"file does not parse: {error.msg}",
+                    line_text=ctx.line_text(error.lineno or 1),
+                )
+            )
+            continue
+        contexts.append(ctx)
+    project = ProjectContext(files=contexts)
+    for ctx in contexts:
+        for rule in rules.values():
+            if isinstance(rule, FileRule):
+                raw.extend(rule.check(ctx))
+    for rule in rules.values():
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project))
+
+    suppressions = {
+        ctx.path: Suppressions.parse(ctx.text) for ctx in contexts
+    }
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        directives = suppressions.get(finding.path)
+        if directives is not None and directives.suppresses(finding):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept = assign_occurrences(kept)
+
+    baseline = baseline or Baseline()
+    new, old = baseline.split(kept)
+    return LintResult(
+        new=new,
+        baselined=old,
+        suppressed=suppressed,
+        files=len(contexts),
+    )
+
+
+def run(argv: list[str] | None = None) -> int:
+    """The ``repro lint`` subcommand body (argv excludes the subcommand)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro lint")
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+def configure_parser(parser) -> None:
+    """Attach replint's options to an argparse parser (CLI integration)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+
+
+def run_from_args(args) -> int:
+    """Execute a parsed ``repro lint`` invocation."""
+    try:
+        baseline = (
+            Baseline()
+            if args.no_baseline or args.write_baseline
+            else Baseline.load(args.baseline)
+        )
+    except ValueError as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return 2
+    select = (
+        frozenset(code.strip().upper() for code in args.select.split(","))
+        if args.select
+        else None
+    )
+    if select is not None:
+        unknown = select - set(all_rules()) - {"REP000"}
+        if unknown:
+            print(
+                f"replint: unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    if not discover(list(args.paths)):
+        print(
+            f"replint: no Python files found under: {', '.join(args.paths)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = lint_paths(list(args.paths), baseline=baseline, select=select)
+    if args.write_baseline:
+        Baseline.from_findings(result.new + result.baselined).save(args.baseline)
+        print(
+            f"replint: wrote {args.baseline} with "
+            f"{len(result.new) + len(result.baselined)} finding(s)"
+        )
+        return 0
+    try:
+        print(result.render_json() if args.json else result.render_text())
+    except BrokenPipeError:  # report piped into `head` etc.; exit code stands
+        sys.stderr.close()
+    return result.exit_code
+
+
+def main() -> None:  # pragma: no cover - direct module entry
+    sys.exit(run(sys.argv[1:]))

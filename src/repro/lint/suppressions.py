@@ -1,0 +1,65 @@
+"""Inline ``# replint: disable=...`` suppression parsing.
+
+Two directive forms are honoured:
+
+* ``# replint: disable=REP001`` (or ``REP001,REP003`` or ``all``) on the
+  offending line suppresses those rules for that line only.  For findings
+  reported against a multi-line statement the directive belongs on the
+  line the finding points at (a ``def``/``class`` line for declaration
+  rules).
+* ``# replint: disable-file=REP007`` anywhere in the file suppresses the
+  rules for the whole file (use sparingly; prefer line suppressions).
+
+Unknown codes in a directive are ignored rather than rejected so that a
+baseline-era suppression does not break when a rule is retired.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_LINE_RE = re.compile(r"#\s*replint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*replint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _codes(group: str) -> frozenset[str]:
+    return frozenset(c.strip().upper() for c in group.split(",") if c.strip())
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    @classmethod
+    def parse(cls, text: str) -> "Suppressions":
+        """Extract all directives from ``text``."""
+        by_line: dict[int, frozenset[str]] = {}
+        file_wide: frozenset[str] = frozenset()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "replint" not in line:
+                continue
+            match = _FILE_RE.search(line)
+            if match:
+                file_wide |= _codes(match.group(1))
+                continue
+            match = _LINE_RE.search(line)
+            if match:
+                by_line[lineno] = by_line.get(lineno, frozenset()) | _codes(
+                    match.group(1)
+                )
+        return cls(by_line=by_line, file_wide=file_wide)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether this file's directives silence ``finding``."""
+        if "ALL" in self.file_wide or finding.rule in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line)
+        if codes is None:
+            return False
+        return "ALL" in codes or finding.rule in codes

@@ -17,7 +17,6 @@ from fractions import Fraction
 from ..errors import AnalysisError
 from ..ratfunc import Polynomial, RationalFunction
 from .chains import (
-    CHAIN_BUILDERS,
     chain_for,
     primary_copy_availability,
     primary_site_voting_availability,

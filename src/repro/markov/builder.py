@@ -26,7 +26,6 @@ what the validation tests assert.
 from __future__ import annotations
 
 from fractions import Fraction
-from collections.abc import Iterable
 
 from ..core.base import ReplicaControlProtocol
 from ..core.decision import UpdateContext

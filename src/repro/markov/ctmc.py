@@ -19,7 +19,7 @@ otherwise (the paper's site measure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from collections.abc import Hashable, Iterable, Mapping
 

@@ -21,7 +21,6 @@ from collections.abc import Mapping
 import numpy as np
 
 from ..core.base import ReplicaControlProtocol
-from ..core.decision import UpdateContext
 from ..errors import ChainError
 from ..types import SiteId
 from .builder import Configuration, _initial_configuration, _successor

@@ -180,7 +180,12 @@ class ReplicaCluster:
             commit = self._nodes[destination].decision_log.get(message.run_id)
             if commit is not None:
                 reply = DecisionReply(
-                    message.run_id, destination, True, commit.metadata, commit.value
+                    message.run_id,
+                    destination,
+                    True,
+                    commit.metadata,
+                    commit.value,
+                    commit.participants,
                 )
             else:
                 reply = DecisionReply(message.run_id, destination, False)

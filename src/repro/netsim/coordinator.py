@@ -251,7 +251,11 @@ class ProtocolRun:
         assert self._pending_metadata is not None
         node = self._cluster.node(self.site)
         commit = CommitMessage(
-            self.run_id, self.site, self._pending_metadata, payload
+            self.run_id,
+            self.site,
+            self._pending_metadata,
+            payload,
+            self.participants,
         )
         # Durable decision first (presumed abort), then local apply, then
         # the commit messages -- all at one instant of simulated time,

@@ -13,7 +13,7 @@ termination discussion worries about.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..core.metadata import ReplicaMetadata
@@ -69,10 +69,18 @@ class CommitMessage(Message):
     same payload (the paper ships "the missing updates" plus the new
     update; shipping the resulting state is the classical state-transfer
     equivalent).
+
+    ``participants`` is the partition *P* the commit was decided over.
+    Only members of *P* may install the commit: the new metadata's update
+    sites cardinality is ``card(P)``, and Theorem 1's mutual exclusion
+    rests on the current copies being *exactly* the last update's
+    participants.  A site whose vote arrived after the window closed is
+    not in *P* and must stay stale even if it later learns the outcome.
     """
 
     metadata: ReplicaMetadata
     value: Any
+    participants: frozenset[SiteId] = frozenset()
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,8 +115,14 @@ class DecisionRequest(Message):
 
 @dataclass(frozen=True, slots=True)
 class DecisionReply(Message):
-    """Termination protocol: the outcome, with commit payload if committed."""
+    """Termination protocol: the outcome, with commit payload if committed.
+
+    ``participants`` mirrors :attr:`CommitMessage.participants`; an
+    in-doubt site outside the set releases its lock without installing
+    the state (it was excluded from the update's partition *P*).
+    """
 
     committed: bool
     metadata: ReplicaMetadata | None = None
     value: Any = None
+    participants: frozenset[SiteId] = frozenset()

@@ -23,7 +23,7 @@ As a subordinate (steps iii and viii of the protocol), a node:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..core.metadata import ReplicaMetadata
@@ -206,7 +206,12 @@ class Node:
         commit = self.decision_log.get(run_id)
         if commit is not None:
             reply = DecisionReply(
-                run_id, self.site, True, commit.metadata, commit.value
+                run_id,
+                self.site,
+                True,
+                commit.metadata,
+                commit.value,
+                commit.participants,
             )
         else:
             reply = DecisionReply(run_id, self.site, False)
@@ -215,7 +220,12 @@ class Node:
     def _on_decision_reply(self, message: DecisionReply) -> None:
         if message.run_id not in self._in_doubt:
             return
-        if message.committed:
+        if message.committed and self.site in message.participants:
+            # Only members of the update's partition P may install the
+            # state: the committed metadata's SC counts exactly card(P),
+            # and Theorem 1's mutual exclusion needs the current copies to
+            # be exactly P.  A site whose vote missed the window stays
+            # stale until an update it participates in catches it up.
             assert message.metadata is not None
             self.apply_commit(message.run_id, message.metadata, message.value)
         self._settle(message.run_id)

@@ -14,7 +14,7 @@ trailing zeros stripped (the zero polynomial has an empty tuple and degree
 from __future__ import annotations
 
 from fractions import Fraction
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 from numbers import Rational
 
 from ..errors import AlgebraError

@@ -25,7 +25,7 @@ exhaustive partition histories, and identical derived Markov chains.
 from __future__ import annotations
 
 import abc
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 
 from ..types import SiteId
 from .ledger import VoteLedger

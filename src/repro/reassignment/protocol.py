@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..core.base import ReplicaControlProtocol
-from ..core.decision import QuorumDecision, Rule, UpdateContext
+from ..core.decision import QuorumDecision, Rule
 from ..types import SiteId
 from .ledger import VoteLedger
 from .policies import GroupConsensus, ReassignmentPolicy
@@ -26,7 +26,11 @@ from .policies import GroupConsensus, ReassignmentPolicy
 __all__ = ["VoteReassignmentProtocol"]
 
 
-class VoteReassignmentProtocol(ReplicaControlProtocol):
+# Unregistered by design: parameterised by a ReassignmentPolicy (its name
+# carries the policy, e.g. "vote-reassignment[group-consensus]"), so a
+# bare-sites registry factory could not honour the registry's name==key
+# contract.
+class VoteReassignmentProtocol(ReplicaControlProtocol):  # replint: disable=REP005
     """Replica control by dynamic vote reassignment.
 
     Parameters

@@ -32,7 +32,9 @@ from .protocol import VoteReassignmentProtocol
 __all__ = ["WitnessVotingProtocol"]
 
 
-class WitnessVotingProtocol(VoteReassignmentProtocol):
+# Unregistered by design: requires an explicit witness subset, which a
+# bare-sites registry factory cannot choose meaningfully.
+class WitnessVotingProtocol(VoteReassignmentProtocol):  # replint: disable=REP005
     """Vote-based replica control where some sites are witnesses.
 
     Parameters

@@ -14,13 +14,13 @@ model consumes its events one at a time.
 
 from __future__ import annotations
 
-import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..errors import SimulationError
 from ..types import SiteId, validate_sites
 from .events import Event, EventKind
+from .rng import RandomStreams, RngStream
 
 __all__ = ["Rates", "PerSiteRates", "FailureRepairSampler"]
 
@@ -106,16 +106,20 @@ class FailureRepairSampler:
     The sampler owns the up/down status of every site; callers pull events
     with :meth:`next_event` and may inspect :attr:`up` between pulls.
     Accepts homogeneous :class:`Rates` or heterogeneous
-    :class:`PerSiteRates`.
+    :class:`PerSiteRates`.  ``rng`` is a named substream from
+    :class:`~repro.sim.rng.RandomStreams` (or a ``RandomStreams`` family,
+    from which the sampler takes its dedicated ``"events"`` substream).
     """
 
     def __init__(
         self,
         sites: Sequence[SiteId],
         rates: "Rates | PerSiteRates",
-        rng: random.Random,
+        rng: RngStream | RandomStreams,
         initially_up: Sequence[SiteId] | None = None,
     ) -> None:
+        if isinstance(rng, RandomStreams):
+            rng = rng.stream("events")
         self._sites = validate_sites(sites)
         if isinstance(rates, Rates):
             self._per_site = PerSiteRates.homogeneous(self._sites, rates)

@@ -19,8 +19,6 @@ in :mod:`repro.markov.builder` explores the same dynamics exhaustively).
 
 from __future__ import annotations
 
-import random
-from collections.abc import Sequence
 
 from ..core.base import ReplicaControlProtocol
 from ..core.decision import UpdateContext
@@ -29,6 +27,7 @@ from ..errors import SimulationError
 from ..types import SiteId
 from .events import Event, EventKind
 from .failures import FailureRepairSampler, PerSiteRates, Rates
+from .rng import RandomStreams, RngStream
 
 __all__ = ["StochasticReplicaSystem", "AvailabilityAccumulator"]
 
@@ -45,15 +44,20 @@ class StochasticReplicaSystem:
         :class:`Rates` or heterogeneous :class:`PerSiteRates` (the
         Section VII challenge model).
     rng:
-        Source of randomness (dedicate a stream per system).
+        Source of randomness: a named substream obtained from
+        :class:`~repro.sim.rng.RandomStreams`, or a ``RandomStreams``
+        family itself, in which case the system draws from its dedicated
+        ``"system"`` substream.
     """
 
     def __init__(
         self,
         protocol: ReplicaControlProtocol,
         rates: Rates | PerSiteRates,
-        rng: random.Random,
+        rng: RngStream | RandomStreams,
     ) -> None:
+        if isinstance(rng, RandomStreams):
+            rng = rng.stream("system")
         self._protocol = protocol
         self._sampler = FailureRepairSampler(sorted(protocol.sites), rates, rng)
         self._copies: dict[SiteId, ReplicaMetadata] = dict.fromkeys(

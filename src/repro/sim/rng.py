@@ -12,7 +12,13 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "RngStream", "derive_seed"]
+
+#: The concrete generator type handed out by :meth:`RandomStreams.stream`.
+#: Other modules annotate against this alias instead of importing the
+#: stdlib ``random`` module themselves (replint REP001): all randomness is
+#: created here, from named substreams, and only *consumed* elsewhere.
+RngStream = random.Random
 
 
 def derive_seed(master_seed: int, name: str) -> int:

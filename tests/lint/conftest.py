@@ -1,0 +1,54 @@
+"""Helpers for the replint test suite.
+
+The rule tests write small synthetic snippets into ``tmp_path`` and lint
+them with one rule selected.  Files written directly under ``tmp_path``
+are *out-of-package* scratch files, which replint treats as in scope for
+every directory-scoped rule; files written under ``tmp_path/repro/...``
+simulate real package locations (for scope and layering tests).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.runner import LintResult, lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint one snippet with one rule; returns the LintResult."""
+
+    def _lint(source: str, rule: str, rel: str = "snippet.py") -> LintResult:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_paths([str(tmp_path)], select=frozenset({rule}))
+
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Lint a dict of {relative path: source} with one rule selected."""
+
+    def _lint(files: dict[str, str], rule: str) -> LintResult:
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return lint_paths([str(tmp_path)], select=frozenset({rule}))
+
+    return _lint
+
+
+def rules_of(result: LintResult) -> list[str]:
+    """The rule codes of the new findings, in report order."""
+    return [f.rule for f in result.new]
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above tests/lint/)."""
+    return Path(__file__).resolve().parents[2]

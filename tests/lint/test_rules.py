@@ -1,0 +1,421 @@
+"""Per-rule unit tests: one violating and one clean snippet per REP rule.
+
+Snippets written at the ``tmp_path`` root are scratch files (out of any
+``repro`` package tree), which replint deliberately treats as in scope
+for every directory-scoped rule; snippets under ``tmp_path/repro/...``
+exercise the real path scoping.
+"""
+
+from __future__ import annotations
+
+from .conftest import rules_of
+
+
+class TestRep000SyntaxError:
+    def test_unparseable_file_is_a_finding_not_a_crash(self, lint_snippet):
+        result = lint_snippet("def broken(:\n", "REP000")
+        assert rules_of(result) == ["REP000"]
+        assert "does not parse" in result.new[0].message
+
+
+class TestRep001NoDirectRandom:
+    def test_import_random_flagged(self, lint_snippet):
+        result = lint_snippet("import random\n", "REP001")
+        assert rules_of(result) == ["REP001"]
+
+    def test_from_random_and_numpy_random_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from random import choice
+            import numpy.random
+            """,
+            "REP001",
+        )
+        assert rules_of(result) == ["REP001", "REP001"]
+
+    def test_np_random_attribute_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()
+            """,
+            "REP001",
+        )
+        assert rules_of(result) == ["REP001"]
+
+    def test_named_substreams_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.sim.rng import RandomStreams
+
+            def draw(streams: RandomStreams) -> float:
+                return streams.stream("events").random()
+            """,
+            "REP001",
+        )
+        assert result.new == []
+
+    def test_rng_module_itself_is_exempt(self, lint_snippet):
+        result = lint_snippet("import random\n", "REP001", rel="repro/sim/rng.py")
+        assert result.new == []
+
+
+class TestRep002NoWallClock:
+    def test_time_time_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "REP002",
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_datetime_now_and_bare_perf_counter_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from datetime import datetime
+            from time import perf_counter
+
+            def stamps():
+                return datetime.now(), perf_counter()
+            """,
+            "REP002",
+        )
+        assert rules_of(result) == ["REP002", "REP002"]
+
+    def test_simulated_time_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def stamp(simulator):
+                return simulator.now
+            """,
+            "REP002",
+        )
+        assert result.new == []
+
+    def test_out_of_scope_package_dir_clean(self, lint_snippet):
+        # analysis/ may read the wall clock (e.g. to stamp report files).
+        result = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "REP002",
+            rel="repro/analysis/report_stamp.py",
+        )
+        assert result.new == []
+
+
+class TestRep003NoFloatEquality:
+    def test_float_literal_equality_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def check(availability):
+                return availability == 1.0
+            """,
+            "REP003",
+        )
+        assert rules_of(result) == ["REP003"]
+
+    def test_float_call_inequality_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def check(a, b):
+                return float(a) != b
+            """,
+            "REP003",
+        )
+        assert rules_of(result) == ["REP003"]
+
+    def test_int_equality_and_isclose_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import math
+
+            def check(n, availability):
+                return n == 0 and math.isclose(availability, 1.0)
+            """,
+            "REP003",
+        )
+        assert result.new == []
+
+
+class TestRep004NoMetadataMutation:
+    def test_field_write_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def bump(meta):
+                meta.version = meta.version + 1
+            """,
+            "REP004",
+        )
+        assert rules_of(result) == ["REP004"]
+        assert ".version" in result.new[0].message
+
+    def test_setattr_bypass_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def poke(meta):
+                object.__setattr__(meta, "version", 3)
+            """,
+            "REP004",
+        )
+        assert rules_of(result) == ["REP004"]
+
+    def test_post_init_canonicalisation_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Triple:
+                version: int
+
+                def __post_init__(self):
+                    object.__setattr__(self, "version", int(self.version))
+            """,
+            "REP004",
+        )
+        assert result.new == []
+
+    def test_self_write_in_own_class_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            class Counter:
+                def __init__(self):
+                    self.version = 0
+            """,
+            "REP004",
+        )
+        assert result.new == []
+
+    def test_core_commit_path_is_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def commit(meta):
+                meta.version = meta.version + 1
+            """,
+            "REP004",
+            rel="repro/core/scratch_commit.py",
+        )
+        assert result.new == []
+
+
+class TestRep005ProtocolsRegistered:
+    def test_subclass_without_name_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            class NamelessProtocol(ReplicaControlProtocol):
+                pass
+            """,
+            "REP005",
+        )
+        assert rules_of(result) == ["REP005"]
+        assert "no `name`" in result.new[0].message
+
+    def test_unregistered_subclass_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/registry.py": """
+                    PROTOCOLS = {"bar": BarProtocol}
+                    """,
+                "repro/core/protos.py": """
+                    class BarProtocol(ReplicaControlProtocol):
+                        name = "bar"
+
+                    class OrphanProtocol(ReplicaControlProtocol):
+                        name = "orphan"
+                    """,
+            },
+            "REP005",
+        )
+        assert rules_of(result) == ["REP005"]
+        assert "OrphanProtocol" in result.new[0].message
+        assert "not registered" in result.new[0].message
+
+    def test_registered_via_factory_and_inherited_name_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "repro/core/registry.py": """
+                    PROTOCOLS = {
+                        "bar": BarProtocol,
+                        "child": (lambda sites: ChildProtocol(sites)),
+                    }
+                    """,
+                "repro/core/protos.py": """
+                    class BarProtocol(ReplicaControlProtocol):
+                        name = "bar"
+
+                    class ChildProtocol(BarProtocol):
+                        name = "child"
+                    """,
+            },
+            "REP005",
+        )
+        assert result.new == []
+
+    def test_abstract_and_private_subclasses_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from abc import abstractmethod
+
+            class AbstractQuorumProtocol(ReplicaControlProtocol):
+                @abstractmethod
+                def quorum(self):
+                    ...
+
+            class _TestOnlyProtocol(ReplicaControlProtocol):
+                pass
+            """,
+            "REP005",
+        )
+        assert result.new == []
+
+
+class TestRep006NoSwallowedExceptions:
+    def test_bare_except_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def vote(copies):
+                try:
+                    return copies.popitem()
+                except:
+                    return None
+            """,
+            "REP006",
+        )
+        assert rules_of(result) == ["REP006"]
+
+    def test_silent_broad_except_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def vote(copies):
+                try:
+                    return copies.popitem()
+                except Exception:
+                    pass
+            """,
+            "REP006",
+        )
+        assert rules_of(result) == ["REP006"]
+
+    def test_narrow_or_handled_excepts_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def vote(copies, log):
+                try:
+                    return copies.popitem()
+                except KeyError:
+                    pass
+                except Exception as exc:
+                    log.append(exc)
+                    raise
+            """,
+            "REP006",
+        )
+        assert result.new == []
+
+
+class TestRep007DocstringsCitePaper:
+    def test_missing_docstring_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def is_distinguished(partition):
+                return bool(partition)
+            """,
+            "REP007",
+        )
+        assert rules_of(result) == ["REP007"]
+        assert "no docstring" in result.new[0].message
+
+    def test_uncited_docstring_chain_flagged(self, lint_snippet):
+        result = lint_snippet(
+            '''
+            """Helpers."""
+
+            def helper():
+                """Do the thing."""
+            ''',
+            "REP007",
+        )
+        assert rules_of(result) == ["REP007"]
+        assert "cites" in result.new[0].message
+
+    def test_module_citation_covers_functions_clean(self, lint_snippet):
+        result = lint_snippet(
+            '''
+            """Implements Is_Distinguished from Section V-B of the paper."""
+
+            def is_distinguished(partition):
+                """Evaluate the quorum test."""
+                return bool(partition)
+            ''',
+            "REP007",
+        )
+        assert result.new == []
+
+    def test_private_functions_exempt(self, lint_snippet):
+        result = lint_snippet(
+            """
+            def _helper():
+                return 1
+            """,
+            "REP007",
+        )
+        assert result.new == []
+
+
+class TestRep008NoCrossLayerImports:
+    def test_core_importing_sim_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from repro.sim.engine import Simulator
+            """,
+            "REP008",
+            rel="repro/core/scratch.py",
+        )
+        assert rules_of(result) == ["REP008"]
+        assert "`core` must not import from `sim`" in result.new[0].message
+
+    def test_relative_upward_import_resolved_and_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from ..netsim.cluster import ReplicaCluster
+            """,
+            "REP008",
+            rel="repro/sim/scratch.py",
+        )
+        assert rules_of(result) == ["REP008"]
+        assert "`sim` must not import from `netsim`" in result.new[0].message
+
+    def test_downward_imports_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from ..core.metadata import ReplicaMetadata
+            from ..types import SiteId
+            from repro.errors import SimulationError
+            """,
+            "REP008",
+            rel="repro/sim/scratch.py",
+        )
+        assert result.new == []
+
+    def test_cli_and_stdlib_imports_unrestricted(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import argparse
+
+            from repro.netsim.cluster import ReplicaCluster
+            from repro.sim.engine import Simulator
+            """,
+            "REP008",
+            rel="repro/cli.py",
+        )
+        assert result.new == []

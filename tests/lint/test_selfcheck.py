@@ -1,0 +1,55 @@
+"""replint's own dogfood run: the real source tree must lint clean.
+
+These tests lint ``src/repro`` against the committed baseline, exactly as
+CI and the ``repro lint`` default invocation do.  They are marked ``lint``
+so an in-progress refactor can deselect them with ``-m "not lint"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.registry import all_rules
+from repro.lint.runner import lint_paths
+
+from .conftest import repo_root
+
+pytestmark = pytest.mark.lint
+
+ROOT = repo_root()
+
+
+@pytest.fixture(scope="module")
+def source_result():
+    baseline = Baseline.load(ROOT / ".replint-baseline.json")
+    return lint_paths([str(ROOT / "src" / "repro")], baseline=baseline)
+
+
+def test_source_tree_is_clean(source_result):
+    assert source_result.new == [], "\n".join(
+        f.render() for f in source_result.new
+    )
+    assert source_result.exit_code == 0
+
+
+def test_baseline_entries_still_exist(source_result):
+    # A baseline entry whose finding has been fixed should be removed
+    # (ratcheting down): re-run `repro lint --write-baseline` after fixes.
+    baseline = Baseline.load(ROOT / ".replint-baseline.json")
+    live = {f.fingerprint for f in source_result.baselined}
+    stale = set(baseline.entries) - live
+    assert not stale, f"baseline entries no longer observed: {sorted(stale)}"
+
+
+def test_every_rule_documented_and_identified():
+    rules = all_rules()
+    assert set(rules) == {f"REP00{i}" for i in range(1, 9)}
+    for code, rule in rules.items():
+        assert rule.code == code
+        assert rule.name and rule.description and rule.rationale
+
+
+def test_linting_covers_whole_package(source_result):
+    # Guards against discovery silently narrowing (e.g. a path typo).
+    assert source_result.files > 80

@@ -1,0 +1,226 @@
+"""Suppression directives, baseline round-trips, and runner behaviour."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity, assign_occurrences
+from repro.lint.runner import lint_paths, run
+from repro.lint.suppressions import Suppressions
+
+
+def _write(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestSuppressions:
+    def test_line_directive_suppresses_that_line_only(self, tmp_path):
+        _write(
+            tmp_path,
+            """
+            import random  # replint: disable=REP001
+            from random import choice
+            """,
+        )
+        result = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        assert result.suppressed == 1
+        assert [f.rule for f in result.new] == ["REP001"]
+        assert "choice" in result.new[0].line_text
+
+    def test_file_directive_suppresses_everywhere(self, tmp_path):
+        _write(
+            tmp_path,
+            """
+            # replint: disable-file=REP001
+            import random
+            from random import choice
+            """,
+        )
+        result = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        assert result.new == []
+        assert result.suppressed == 2
+
+    def test_all_and_unknown_codes(self):
+        directives = Suppressions.parse(
+            "x = 1  # replint: disable=all\ny = 2  # replint: disable=NOPE\n"
+        )
+        finding = Finding(
+            rule="REP001",
+            severity=Severity.ERROR,
+            path="f.py",
+            rel_path="f.py",
+            line=1,
+            message="m",
+            line_text="x = 1",
+        )
+        assert directives.suppresses(finding)
+        on_line_2 = Finding(
+            rule="REP001",
+            severity=Severity.ERROR,
+            path="f.py",
+            rel_path="f.py",
+            line=2,
+            message="m",
+            line_text="y = 2",
+        )
+        assert not directives.suppresses(on_line_2)
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, tmp_path):
+        _write(tmp_path, "import random\n")
+        first = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        assert len(first.new) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.from_findings(first.new).save(baseline_file)
+        reloaded = Baseline.load(baseline_file)
+
+        second = lint_paths(
+            [str(tmp_path)], baseline=reloaded, select=frozenset({"REP001"})
+        )
+        assert second.new == []
+        assert len(second.baselined) == 1
+        assert second.exit_code == 0
+
+    def test_new_violation_not_masked_by_baseline(self, tmp_path):
+        path = _write(tmp_path, "import random\n")
+        first = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        baseline = Baseline.from_findings(first.new)
+
+        path.write_text("import random\nfrom random import choice\n")
+        second = lint_paths(
+            [str(tmp_path)], baseline=baseline, select=frozenset({"REP001"})
+        )
+        assert second.exit_code == 1
+        assert len(second.new) == 1
+        assert len(second.baselined) == 1
+
+    def test_fingerprints_survive_line_moves(self, tmp_path):
+        path = _write(tmp_path, "import random\n")
+        first = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        baseline = Baseline.from_findings(first.new)
+
+        path.write_text("API_VERSION = 1\n\n\nimport random\n")
+        moved = lint_paths(
+            [str(tmp_path)], baseline=baseline, select=frozenset({"REP001"})
+        )
+        assert moved.new == []
+        assert len(moved.baselined) == 1
+
+    def test_duplicate_lines_get_distinct_fingerprints(self):
+        def finding(line):
+            return Finding(
+                rule="REP001",
+                severity=Severity.ERROR,
+                path="f.py",
+                rel_path="f.py",
+                line=line,
+                message="m",
+                line_text="import random",
+            )
+
+        numbered = assign_occurrences([finding(1), finding(9)])
+        assert [f.occurrence for f in numbered] == [0, 1]
+        assert numbered[0].fingerprint != numbered[1].fingerprint
+
+    def test_missing_file_is_empty_and_bad_version_rejected(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(bad)
+
+
+class TestRunner:
+    def test_scratch_violations_exit_nonzero(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            """
+            import random
+
+            def bump(meta):
+                meta.version = 3
+            """,
+        )
+        code = run([str(tmp_path), "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP004" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            '''
+            """A clean module."""
+            ''',
+        )
+        assert run([str(tmp_path), "--no-baseline"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        _write(tmp_path, "import random\n")
+        baseline_file = tmp_path / "baseline.json"
+        assert (
+            run(
+                [
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline_file),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline_file.exists()
+        capsys.readouterr()
+        assert run([str(tmp_path), "--baseline", str(baseline_file)]) == 0
+
+    def test_select_restricts_rules(self, tmp_path):
+        _write(
+            tmp_path,
+            """
+            import random
+
+            def bump(meta):
+                meta.version = 3
+            """,
+        )
+        code = run([str(tmp_path), "--no-baseline", "--select", "rep004"])
+        assert code == 1
+
+    def test_unknown_select_code_is_a_usage_error(self, tmp_path, capsys):
+        _write(tmp_path, "import random\n")
+        code = run([str(tmp_path), "--no-baseline", "--select", "REP999"])
+        assert code == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_no_files_found_is_a_usage_error(self, tmp_path, capsys):
+        code = run([str(tmp_path / "nowhere"), "--no-baseline"])
+        assert code == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_a_clean_error(self, tmp_path, capsys):
+        _write(tmp_path, "import random\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "findings": {}}))
+        code = run([str(tmp_path), "--baseline", str(bad)])
+        assert code == 2
+        assert "unsupported baseline version" in capsys.readouterr().err
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        _write(tmp_path, "import random\n")
+        code = run([str(tmp_path), "--no-baseline", "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 1
+        assert report["files"] == 1
+        (finding,) = [f for f in report["new"] if f["rule"] == "REP001"]
+        assert finding["severity"] == "error"
+        assert finding["fingerprint"]

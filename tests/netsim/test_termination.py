@@ -111,3 +111,52 @@ class TestDeadlockBreaking:
         cluster.settle()
         assert follow_up.status is RunStatus.COMMITTED
         cluster.check_consistency()
+
+
+class TestLateVoterExclusion:
+    # A site whose vote missed the window is outside the update's
+    # partition P.  If it later learns the outcome through the
+    # termination protocol it must release its lock WITHOUT installing
+    # the state: the committed SC counts exactly card(P), so installing
+    # at an excluded site would inflate the current copies beyond P and
+    # break Theorem 1's mutual exclusion (two partitions could both
+    # look distinguished).
+
+    def test_excluded_site_releases_lock_but_stays_stale(self):
+        from repro.core.metadata import ReplicaMetadata
+        from repro.netsim.messages import DecisionReply, VoteRequest
+
+        cluster = cluster_of()
+        node_b = cluster.node("B")
+        # B votes for a run coordinated at A (injected directly, as if
+        # the vote then arrived at A after the window closed).
+        node_b.receive("A", VoteRequest(9001, "A"))
+        assert node_b.locks.holder == 9001  # in doubt, lock held
+        committed = ReplicaMetadata(1, 2, ())
+        node_b.receive(
+            "A",
+            DecisionReply(
+                9001, "A", True, committed, "v1", frozenset({"A", "C"})
+            ),
+        )
+        assert node_b.metadata.version == 0  # excluded: must stay stale
+        assert node_b.value == "v0"
+        assert node_b.locks.holder is None  # but the lock is released
+
+    def test_member_site_installs_through_decision_reply(self):
+        from repro.core.metadata import ReplicaMetadata
+        from repro.netsim.messages import DecisionReply, VoteRequest
+
+        cluster = cluster_of()
+        node_b = cluster.node("B")
+        node_b.receive("A", VoteRequest(9002, "A"))
+        committed = ReplicaMetadata(1, 3, ())
+        node_b.receive(
+            "A",
+            DecisionReply(
+                9002, "A", True, committed, "v1", frozenset({"A", "B", "C"})
+            ),
+        )
+        assert node_b.metadata.version == 1  # member of P: installs
+        assert node_b.value == "v1"
+        assert node_b.locks.holder is None

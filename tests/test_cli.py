@@ -73,6 +73,25 @@ class TestCommands:
         assert "1.0000" in out  # A(0) = 1
 
 
+class TestLintCommand:
+    def test_lint_json_smoke(self, tmp_path, capsys):
+        import json
+
+        snippet = tmp_path / "scratch.py"
+        snippet.write_text("import random\n")
+        code = main(["lint", str(snippet), "--no-baseline", "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 1
+        assert any(f["rule"] == "REP001" for f in report["new"])
+
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        snippet = tmp_path / "scratch.py"
+        snippet.write_text('"""Nothing to see."""\n')
+        assert main(["lint", str(snippet), "--no-baseline"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+
 class TestArtifactCommand:
     def test_artifact_written(self, tmp_path, capsys):
         from repro.cli import main
