@@ -11,6 +11,7 @@ import pytest
 
 from repro.analysis import montecarlo_agreement
 from repro.analysis import render_table
+from repro.obs import use
 
 PROTOCOLS = (
     "voting",
@@ -23,16 +24,24 @@ PROTOCOLS = (
 
 
 @pytest.mark.parametrize("ratio", [0.5, 2.0])
-def test_montecarlo_vs_markov(benchmark, ratio):
+def test_montecarlo_vs_markov(benchmark, ratio, bench_manifest):
     def sweep():
-        return [
-            montecarlo_agreement(
-                name, 5, ratio, replicates=6, events=8_000, seed=2026
-            )
-            for name in PROTOCOLS
-        ]
+        with use(bench_manifest.registry):
+            return [
+                montecarlo_agreement(
+                    name, 5, ratio, replicates=6, events=8_000, seed=2026,
+                    metrics=bench_manifest.registry,
+                )
+                for name in PROTOCOLS
+            ]
 
     reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_manifest.write(
+        f"montecarlo_vs_markov_r{ratio:g}",
+        protocol={"name": "all", "protocols": list(PROTOCOLS), "n_sites": 5},
+        params={"ratio": ratio, "replicates": 6, "events": 8_000},
+        seed=2026,
+    )
     print()
     print(
         render_table(

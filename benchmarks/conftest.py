@@ -9,7 +9,60 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsRegistry, RunManifest, Stopwatch
+
 
 def once(benchmark, fn, *args, **kwargs):
     """Benchmark an expensive function with a single measured round."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+class BenchManifest:
+    """Optional telemetry capture for one benchmark.
+
+    Capture is opted into with ``REPRO_BENCH_MANIFEST_DIR=/some/dir``;
+    the benchmark records into :attr:`registry` and :meth:`write`
+    persists a run manifest there, so performance trajectories (e.g.
+    ``mc.events_per_sec`` across commits) can be scraped from manifests
+    instead of parsing pytest output (docs/OBSERVABILITY.md).  With the
+    variable unset, :attr:`registry` is None and :meth:`write` no-ops.
+    """
+
+    def __init__(self, directory: str | None) -> None:
+        self._directory = directory
+        self.registry = MetricsRegistry() if directory else None
+        self.stopwatch = Stopwatch()
+
+    def write(
+        self,
+        name: str,
+        *,
+        protocol: dict,
+        params: dict,
+        seed: int | None = None,
+    ) -> Path | None:
+        """Persist this benchmark's manifest when capture is on."""
+        if self._directory is None or self.registry is None:
+            return None
+        target = Path(self._directory)
+        target.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest.collect(
+            f"bench:{name}",
+            seed=seed,
+            protocol=protocol,
+            params=params,
+            registry=self.registry,
+            wall_time_s=self.stopwatch.seconds,
+        )
+        return manifest.write(target / f"{name}.json")
+
+
+@pytest.fixture
+def bench_manifest() -> BenchManifest:
+    """Per-test manifest capture, gated by REPRO_BENCH_MANIFEST_DIR."""
+    return BenchManifest(os.environ.get("REPRO_BENCH_MANIFEST_DIR"))

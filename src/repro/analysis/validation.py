@@ -25,6 +25,7 @@ from collections.abc import Sequence
 from ..core.registry import make_protocol
 from ..errors import AnalysisError
 from ..markov import availability, availability_exact, derive_chain
+from ..obs.metrics import MetricsRegistry
 from ..sim import estimate_availability
 from ..types import site_names
 
@@ -89,17 +90,20 @@ def montecarlo_agreement(
     replicates: int = 8,
     events: int = 20_000,
     seed: int = 2026,
+    metrics: MetricsRegistry | None = None,
 ) -> dict:
     """Check the analytic availability sits inside the Monte-Carlo band.
 
     Returns a report dict; raises :class:`AnalysisError` when the analytic
     value falls outside a ~4-sigma confidence interval (which, given the
     chain derivations are exact, indicates a protocol/chain mismatch, not
-    noise).
+    noise).  ``metrics`` is forwarded to the Monte-Carlo estimator (the
+    ``mc.*`` / ``sim.*`` series of docs/OBSERVABILITY.md).
     """
     analytic = availability(protocol, n, ratio)
     result = estimate_availability(
-        protocol, n, ratio, replicates=replicates, events=events, seed=seed
+        protocol, n, ratio, replicates=replicates, events=events, seed=seed,
+        metrics=metrics,
     )
     if not result.agrees_with(analytic):
         low, high = result.confidence_interval(3.89)

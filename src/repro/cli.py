@@ -10,15 +10,26 @@ Subcommands map to the experiment index of DESIGN.md::
     repro simulate --protocol hybrid -n 5 -r 1.0  # E9: MC vs analytic
     repro crossover --first hybrid --second dynamic -n 5
     repro lint src/repro                # replint static analysis
+    repro trace --protocol hybrid -n 3  # message-level protocol trace
+    repro validate-manifest out.json    # check a run manifest's schema
+
+Observability: ``simulate`` and ``compare`` accept ``--metrics`` (print
+the metric registry) and ``--manifest PATH`` (write a machine-readable
+run manifest, docs/OBSERVABILITY.md); ``trace --jsonl`` emits the
+structured event log one JSON object per line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from importlib.metadata import PackageNotFoundError, version as _pkg_version
 
 from .lint import runner as lint_runner
+from .obs import MetricsRegistry, RunManifest, Stopwatch, use
+from .obs import manifest as obs_manifest
 from .analysis import (
     certified_crossover,
     comparison_table,
@@ -36,9 +47,23 @@ from .markov import (
     state_tuple,
     transient_availability,
 )
+from .core import make_protocol
+from .netsim import ReplicaCluster
+from .obs.trace import TraceLog
 from .sim import estimate_availability, figure1_scenario, paper_protocols
+from .types import site_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _version() -> str:
+    """The installed distribution version, or the source tree's fallback."""
+    try:
+        return _pkg_version("repro")
+    except PackageNotFoundError:  # running from a source checkout
+        from . import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dynamic voting replica control: tables, figures, simulations.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -67,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--sites", type=int, default=5)
     p.add_argument("-r", "--ratios", type=float, nargs="+",
                    default=[0.5, 1.0, 2.0, 5.0, 10.0])
+    p.add_argument("--json", action="store_true",
+                   help="emit the matrix as JSON instead of a text table")
+    p.add_argument("--manifest", metavar="PATH",
+                   help="write a run manifest (docs/OBSERVABILITY.md)")
 
     p = sub.add_parser("simulate", help="Monte-Carlo vs analytic availability")
     p.add_argument("--protocol", default="hybrid")
@@ -75,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=20_000)
     p.add_argument("--replicates", type=int, default=8)
     p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metric registry after the run")
+    p.add_argument("--manifest", metavar="PATH",
+                   help="write a run manifest (docs/OBSERVABILITY.md)")
 
     p = sub.add_parser("crossover", help="certified crossover of two protocols")
     p.add_argument("--first", default="hybrid")
@@ -105,6 +141,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint_runner.configure_parser(p)
 
     p = sub.add_parser(
+        "trace",
+        help="trace a scripted message-level protocol run",
+        description=(
+            "Runs a fixed, deterministic netsim workload (update; fail the "
+            "last site; update under failure; repair and restart; read) and "
+            "prints the structured trace.  With --jsonl every event is one "
+            "JSON object per line for machine consumption."
+        ),
+    )
+    p.add_argument("--protocol", default="hybrid")
+    p.add_argument("-n", "--sites", type=int, default=3)
+    p.add_argument("--jsonl", action="store_true",
+                   help="emit events as JSON lines instead of rendered text")
+    p.add_argument(
+        "--categories", nargs="+", default=None,
+        metavar="CAT",
+        help="restrict output to these event categories "
+             "(run, topology, message, lock, span)",
+    )
+
+    p = sub.add_parser(
+        "validate-manifest",
+        help="validate run-manifest files against the schema",
+    )
+    p.add_argument("paths", nargs="+", metavar="MANIFEST")
+
+    p = sub.add_parser(
         "transient", help="availability over time from a healthy start"
     )
     p.add_argument("--protocol", default="hybrid")
@@ -116,6 +179,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+#: Protocol columns of ``repro compare`` (mirrors ``comparison_table``).
+_COMPARE_PROTOCOLS = ("voting", "dynamic", "dynamic-linear", "hybrid")
+
+
+def _scripted_trace(protocol: str, n_sites: int) -> TraceLog:
+    """The fixed workload behind ``repro trace``.
+
+    Deterministic by construction (the message network is driven by
+    simulated time only): update; fail the highest-named site; update
+    under failure; repair and restart; read.
+    """
+    sites = site_names(n_sites)
+    cluster = ReplicaCluster(
+        make_protocol(protocol, sites), initial_value="v0", trace=True
+    )
+    cluster.submit_update(sites[0], "v1")
+    cluster.settle()
+    cluster.fail_site(sites[-1])
+    cluster.submit_update(sites[0], "v2")
+    cluster.settle()
+    cluster.repair_site(sites[-1])
+    cluster.settle()
+    cluster.submit_read(sites[min(1, n_sites - 1)])
+    cluster.settle()
+    log = cluster.trace_log
+    assert log is not None  # trace=True above
+    return log
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -153,18 +245,60 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"  {source} -> {target}  @ {' + '.join(rate)}")
         return 0
     if args.command == "compare":
-        print(comparison_table(args.sites, args.ratios))
+        registry = MetricsRegistry() if args.manifest else None
+        stopwatch = Stopwatch()
+        with use(registry):
+            matrix = {
+                name: {
+                    f"{ratio:g}": availability(name, args.sites, ratio)
+                    for ratio in args.ratios
+                }
+                for name in _COMPARE_PROTOCOLS
+            }
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "n_sites": args.sites,
+                        "ratios": list(args.ratios),
+                        "availability": matrix,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(comparison_table(args.sites, args.ratios))
+        if registry is not None:
+            path = RunManifest.collect(
+                "compare",
+                seed=None,
+                protocol={
+                    "name": "comparison",
+                    "protocols": list(_COMPARE_PROTOCOLS),
+                    "n_sites": args.sites,
+                },
+                params={"ratios": list(args.ratios), "availability": matrix},
+                registry=registry,
+                wall_time_s=stopwatch.seconds,
+            ).write(args.manifest)
+            print(f"wrote manifest {path}", file=sys.stderr)
         return 0
     if args.command == "simulate":
-        analytic = availability(args.protocol, args.sites, args.ratio)
-        result = estimate_availability(
-            args.protocol,
-            args.sites,
-            args.ratio,
-            replicates=args.replicates,
-            events=args.events,
-            seed=args.seed,
-        )
+        telemetry = args.metrics or args.manifest
+        registry = MetricsRegistry() if telemetry else None
+        stopwatch = Stopwatch()
+        with use(registry):
+            analytic = availability(args.protocol, args.sites, args.ratio)
+            result = estimate_availability(
+                args.protocol,
+                args.sites,
+                args.ratio,
+                replicates=args.replicates,
+                events=args.events,
+                seed=args.seed,
+                metrics=registry,
+            )
         low, high = result.confidence_interval()
         print(
             f"{args.protocol} n={args.sites} ratio={args.ratio}:\n"
@@ -172,7 +306,40 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"  monte-carlo = {result.mean:.6f} +/- {result.stderr:.6f} "
             f"(95% CI [{low:.6f}, {high:.6f}])"
         )
+        if args.metrics:
+            assert registry is not None
+            print()
+            print(registry.render())
+        if args.manifest:
+            assert registry is not None
+            path = RunManifest.collect(
+                "simulate",
+                seed=args.seed,
+                protocol={"name": args.protocol, "n_sites": args.sites},
+                params={
+                    "ratio": args.ratio,
+                    "events": args.events,
+                    "replicates": args.replicates,
+                    "analytic": analytic,
+                    "mean": result.mean,
+                    "stderr": result.stderr,
+                },
+                registry=registry,
+                wall_time_s=stopwatch.seconds,
+            ).write(args.manifest)
+            print(f"wrote manifest {path}", file=sys.stderr)
         return 0 if result.agrees_with(analytic) else 1
+    if args.command == "trace":
+        log = _scripted_trace(args.protocol, args.sites)
+        categories = tuple(args.categories) if args.categories else None
+        if args.jsonl:
+            for line in log.iter_jsonl(categories):
+                print(line)
+        else:
+            print(log.render(categories))
+        return 0
+    if args.command == "validate-manifest":
+        return obs_manifest.main(args.paths)
     if args.command == "crossover":
         result = certified_crossover(args.first, args.second, args.sites)
         print(

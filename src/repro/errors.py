@@ -22,6 +22,8 @@ __all__ = [
     "ChainError",
     "AlgebraError",
     "SingularSystemError",
+    "ObservabilityError",
+    "ManifestError",
 ]
 
 
@@ -83,6 +85,14 @@ class AnalysisError(ReproError):
 
 class ChainError(AnalysisError):
     """A Markov chain definition is malformed (bad rates, unreachable states)."""
+
+
+class ObservabilityError(ReproError):
+    """Telemetry misuse (closing spans out of order, metric type clashes)."""
+
+
+class ManifestError(ObservabilityError):
+    """A run manifest is malformed or fails schema validation."""
 
 
 class AlgebraError(ReproError):

@@ -18,7 +18,13 @@ from ..registry import FileContext, FileRule, register
 RNG_MODULE = "sim/rng.py"
 
 #: Directories whose code must never read the wall clock.
-REPLAYABLE_DIRS = ("sim", "netsim", "markov")
+REPLAYABLE_DIRS = ("sim", "netsim", "markov", "obs")
+
+#: The only module allowed to read the wall clock: telemetry throughput
+#: and manifest timestamps funnel through here (docs/OBSERVABILITY.md).
+#: The exemption is by module, not by inline suppression, so the rule
+#: stays unsuppressible everywhere else.
+CLOCK_MODULE = "obs/clock.py"
 
 
 @register
@@ -87,11 +93,13 @@ class NoWallClock(FileRule):
     severity = Severity.ERROR
     description = (
         "wall-clock access (time.time, datetime.now, perf_counter) in "
-        "sim/, netsim/ or markov/"
+        "sim/, netsim/, markov/ or obs/ (only obs/clock.py may)"
     )
     rationale = (
         "Replayability: simulation and chain code is parameterised by "
-        "*model* time only; wall-clock reads make traces unreproducible."
+        "*model* time only; wall-clock reads make traces unreproducible. "
+        "Telemetry's sanctioned wall-clock access lives in obs/clock.py "
+        "and feeds only wall-clock-marked metrics."
     )
 
     _CLOCK_ATTRS = {
@@ -110,6 +118,8 @@ class NoWallClock(FileRule):
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not ctx.in_dirs(*REPLAYABLE_DIRS):
+            return
+        if ctx.is_file(CLOCK_MODULE):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):

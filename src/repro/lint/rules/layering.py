@@ -23,16 +23,27 @@ from ..registry import PACKAGE_NAME, FileContext, FileRule, register
 ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "types": frozenset({"errors"}),
+    "obs": frozenset({"errors", "types"}),
     "ratfunc": frozenset({"errors", "types"}),
     "quorums": frozenset({"ratfunc", "errors", "types"}),
     "core": frozenset({"errors", "types"}),
     "lint": frozenset({"errors", "types"}),
-    "markov": frozenset({"core", "ratfunc", "errors", "types"}),
-    "sim": frozenset({"core", "errors", "types"}),
+    "markov": frozenset({"core", "obs", "ratfunc", "errors", "types"}),
+    "sim": frozenset({"core", "obs", "errors", "types"}),
     "reassignment": frozenset({"core", "quorums", "errors", "types"}),
-    "netsim": frozenset({"core", "sim", "errors", "types"}),
+    "netsim": frozenset({"core", "obs", "sim", "errors", "types"}),
     "analysis": frozenset(
-        {"core", "markov", "sim", "netsim", "quorums", "ratfunc", "errors", "types"}
+        {
+            "core",
+            "markov",
+            "obs",
+            "sim",
+            "netsim",
+            "quorums",
+            "ratfunc",
+            "errors",
+            "types",
+        }
     ),
 }
 

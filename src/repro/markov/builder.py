@@ -31,6 +31,7 @@ from ..core.base import ReplicaControlProtocol
 from ..core.decision import UpdateContext
 from ..core.metadata import ReplicaMetadata
 from ..errors import ChainError
+from ..obs.metrics import global_registry
 from ..types import SiteId
 from .ctmc import Arc, ChainSpec
 
@@ -125,6 +126,11 @@ def derive_chain(
         for config in seen
         if config[0] and config[0] == config[1]
     }
+    registry = global_registry()
+    if registry.enabled:
+        registry.counter("markov.builder.chains").inc()
+        registry.counter("markov.builder.configurations").inc(len(seen))
+        registry.counter("markov.builder.arcs").inc(len(arcs))
     return ChainSpec(
         f"derived:{protocol.name}[n={n}]", tuple(seen), arcs, weights
     )

@@ -26,6 +26,7 @@ from collections.abc import Hashable, Iterable, Mapping
 import numpy as np
 
 from ..errors import ChainError
+from ..obs.metrics import global_registry
 from ..ratfunc import Polynomial, RationalFunction, bareiss_solve, fraction_solve
 
 __all__ = ["Arc", "ChainSpec"]
@@ -168,10 +169,28 @@ class ChainSpec:
         np.fill_diagonal(q, -q.sum(axis=1))
         return q
 
+    def _observe_solve(self, mode: str) -> None:
+        """Report a steady-state solve to the global metrics registry.
+
+        Chain sizes are recorded as gauges at solve time (not at build
+        time) so the series do not depend on whether a chain came out of
+        an ``lru_cache`` -- solves happen every call, builds do not, and
+        manifest determinism relies on that.
+        """
+        registry = global_registry()
+        if not registry.enabled:
+            return
+        registry.counter(f"markov.solve.{mode}").inc()
+        registry.histogram("markov.solve.dimension").observe(self.size)
+        scope = registry.scope(f"markov.chain.{self.name}")
+        scope.gauge("states").set(self.size)
+        scope.gauge("arcs").set(len(self._arcs))
+
     def steady_state(self, ratio: float, lam: float = 1.0) -> dict[State, float]:
         """Stationary distribution at ``mu = ratio * lam`` (floats)."""
         if ratio <= 0:
             raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+        self._observe_solve("numeric")
         q = self.generator_matrix(lam, ratio * lam)
         size = q.shape[0]
         a = q.T.copy()
@@ -197,6 +216,7 @@ class ChainSpec:
         ratio = Fraction(ratio)
         if ratio <= 0:
             raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+        self._observe_solve("exact")
         size = len(self._states)
         a = [[Fraction(0)] * size for _ in range(size)]
         for (i, j), (f, r) in self._arcs.items():
@@ -228,6 +248,7 @@ class ChainSpec:
         (availability depends on the rates only through their ratio) and
         solved by fraction-free elimination.
         """
+        self._observe_solve("symbolic")
         size = len(self._states)
         zero = Polynomial()
         a = [[zero] * size for _ in range(size)]

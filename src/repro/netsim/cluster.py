@@ -19,6 +19,8 @@ from typing import Any
 
 from ..core.base import ReplicaControlProtocol
 from ..errors import SimulationError
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.spans import NULL_TRACKER, SpanTracker
 from ..sim.engine import Simulator
 from ..sim.topology import Topology
 from ..types import SiteId
@@ -49,6 +51,13 @@ class ReplicaCluster:
         every ``30 * latency``.
     links:
         Optional explicit link set (defaults to a complete graph).
+    metrics:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, the cluster records message counts by type, run outcomes,
+        vote replies, lock waits, and phase-span durations under the
+        ``netsim.*`` names documented in docs/OBSERVABILITY.md.  When
+        omitted the shared disabled registry is used and the hot paths
+        skip recording entirely.
     """
 
     def __init__(
@@ -63,16 +72,23 @@ class ReplicaCluster:
         termination_timeout: float | None = None,
         links: Iterable[tuple[SiteId, SiteId]] | None = None,
         trace: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.protocol = protocol
         self.simulator = Simulator()
         self.topology = Topology(sorted(protocol.sites), links)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.trace_log: TraceLog | None = TraceLog() if trace else None
+        if trace or self.metrics.enabled:
+            self.spans = SpanTracker(self.trace_log, self.metrics)
+        else:
+            self.spans = NULL_TRACKER
         self.network = MessageNetwork(
             self.simulator,
             self.topology,
             latency,
             observer=self.trace_log.record if trace else None,
+            metrics=self.metrics,
         )
         self.vote_window = vote_window if vote_window is not None else 4 * latency
         self.catch_up_window = (
@@ -98,14 +114,16 @@ class ReplicaCluster:
         """The node object at a site."""
         return self._nodes[site]
 
-    def _record(self, category: str, description: str) -> None:
+    def _record(self, category: str, description: str, **fields: object) -> None:
         if self.trace_log is not None:
-            self.trace_log.record(self.simulator.now, category, description)
+            self.trace_log.record(self.simulator.now, category, description, **fields)
 
     def fail_site(self, site: SiteId) -> None:
         """Fail a site: volatile state is wiped, its runs die."""
         self.topology.fail_site(site)
-        self._record("topology", f"site {site} failed")
+        self._record("topology", f"site {site} failed", event="site-failure", site=site)
+        if self.metrics.enabled:
+            self.metrics.counter("netsim.topology.site-failures").inc()
         self._nodes[site].on_failure()
         for run in list(self._runs.values()):
             if run.site == site and not run.finished:
@@ -116,7 +134,9 @@ class ReplicaCluster:
     def repair_site(self, site: SiteId, run_restart: bool = True) -> ProtocolRun | None:
         """Repair a site; by default immediately run Make_Current there."""
         self.topology.repair_site(site)
-        self._record("topology", f"site {site} repaired")
+        self._record("topology", f"site {site} repaired", event="site-repair", site=site)
+        if self.metrics.enabled:
+            self.metrics.counter("netsim.topology.site-repairs").inc()
         if run_restart:
             return self.make_current(site)
         return None
@@ -124,12 +144,16 @@ class ReplicaCluster:
     def fail_link(self, a: SiteId, b: SiteId) -> None:
         """Fail a communication link."""
         self.topology.fail_link(a, b)
-        self._record("topology", f"link {a}-{b} failed")
+        self._record(
+            "topology", f"link {a}-{b} failed", event="link-failure", link=[a, b]
+        )
 
     def repair_link(self, a: SiteId, b: SiteId) -> None:
         """Repair a communication link."""
         self.topology.repair_link(a, b)
-        self._record("topology", f"link {a}-{b} repaired")
+        self._record(
+            "topology", f"link {a}-{b} repaired", event="link-repair", link=[a, b]
+        )
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -150,8 +174,14 @@ class ReplicaCluster:
     def _submit(self, run: ProtocolRun) -> ProtocolRun:
         self._runs[run.run_id] = run
         self._record(
-            "run", f"run {run.run_id} [{run.kind.value}] submitted at {run.site}"
+            "run",
+            f"run {run.run_id} [{run.kind.value}] submitted at {run.site}",
+            run_id=run.run_id,
+            kind=run.kind.value,
+            site=run.site,
         )
+        if self.metrics.enabled:
+            self.metrics.counter(f"netsim.run.submitted.{run.kind.value}").inc()
         self.simulator.schedule(0.0, run.start)
         return run
 
@@ -200,7 +230,18 @@ class ReplicaCluster:
         """Callback from a run reaching a terminal status."""
         self._runs.pop(run.run_id, None)
         self._finished_runs.append(run)
-        self._record("run", run.describe())
+        self._record(
+            "run",
+            run.describe(),
+            run_id=run.run_id,
+            kind=run.kind.value,
+            site=run.site,
+            status=run.status.value,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter(f"netsim.run.{run.status.value}").inc()
+            if run.latency is not None:
+                self.metrics.histogram("netsim.run.latency").observe(run.latency)
 
     def run_for(self, duration: float) -> None:
         """Advance simulated time by ``duration``."""

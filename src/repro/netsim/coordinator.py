@@ -96,6 +96,8 @@ class ProtocolRun:
         self._pending_metadata: ReplicaMetadata | None = None
         self.submitted_at: float = cluster.simulator.now
         self.finished_at: float | None = None
+        self._span = None
+        self._phase_span = None
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -135,6 +137,13 @@ class ProtocolRun:
         if not self._cluster.topology.is_up(self.site):
             self._finish(RunStatus.FAILED, "coordinator site is down")
             return
+        self._span = self._cluster.spans.open(
+            "run",
+            self._cluster.simulator.now,
+            run_id=self.run_id,
+            kind=self.kind.value,
+            site=self.site,
+        )
         self._phase = _Phase.LOCKING
         self._timer = self._cluster.simulator.schedule(
             self._cluster.lock_timeout, self._lock_timed_out
@@ -152,8 +161,19 @@ class ProtocolRun:
             return
         self._cancel_timer()
         self._phase = _Phase.VOTING
+        self._phase_span = self._cluster.spans.open(
+            "vote",
+            self._cluster.simulator.now,
+            parent=self._span,
+            run_id=self.run_id,
+        )
         network = self._cluster.network
-        for other in sorted(self._cluster.topology.sites - {self.site}):
+        subordinates = sorted(self._cluster.topology.sites - {self.site})
+        if self._cluster.metrics.enabled:
+            self._cluster.metrics.counter("netsim.votes.requested").inc(
+                len(subordinates)
+            )
+        for other in subordinates:
             network.send(
                 self.site, other, VoteRequest(self.run_id, self.site)
             )
@@ -170,12 +190,15 @@ class ProtocolRun:
         if isinstance(message, VoteReply):
             if self._phase is _Phase.VOTING:
                 self._votes[sender] = message.metadata
+                if self._cluster.metrics.enabled:
+                    self._cluster.metrics.counter("netsim.votes.replies").inc()
         elif isinstance(message, CatchUpReply):
             self._on_catch_up_reply(message)
 
     def _votes_closed(self) -> None:
         if self._phase is not _Phase.VOTING:
             return
+        self._close_phase_span(votes=len(self._votes))
         node = self._cluster.node(self.site)
         copies = dict(self._votes)
         copies[self.site] = node.metadata
@@ -218,6 +241,13 @@ class ProtocolRun:
             self._commit(self.value)
             return
         self._phase = _Phase.CATCH_UP
+        self._phase_span = self._cluster.spans.open(
+            "catch-up",
+            self._cluster.simulator.now,
+            parent=self._span,
+            run_id=self.run_id,
+            donor=donors[0],
+        )
         self._cluster.network.send(
             self.site, donors[0], CatchUpRequest(self.run_id, self.site)
         )
@@ -234,6 +264,7 @@ class ProtocolRun:
         if self._phase is not _Phase.CATCH_UP:
             return
         self._cancel_timer()
+        self._close_phase_span(donor=message.sender)
         if self.kind is RunKind.READ:
             self.result = message.value
             self._abort_everywhere(RunStatus.COMPLETED, "read served by catch-up")
@@ -292,11 +323,26 @@ class ProtocolRun:
         self.status = RunStatus.FAILED
         self.reason = "coordinator failed"
         self.finished_at = self._cluster.simulator.now
+        self._close_spans(RunStatus.FAILED)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+
+    def _close_phase_span(self, **fields: object) -> None:
+        if self._phase_span is not None:
+            self._phase_span.close_if_open(self._cluster.simulator.now, **fields)
+            self._phase_span = None
+
+    def _close_spans(self, status: RunStatus) -> None:
+        """Close any open spans, innermost first (the tracker enforces LIFO)."""
+        now = self._cluster.simulator.now
+        if self._phase_span is not None:
+            self._phase_span.close_if_open(now, status=status.value)
+            self._phase_span = None
+        if self._span is not None:
+            self._span.close_if_open(now, status=status.value)
 
     @property
     def latency(self) -> float | None:
@@ -311,4 +357,5 @@ class ProtocolRun:
         self.status = status
         self.reason = reason
         self.finished_at = self._cluster.simulator.now
+        self._close_spans(status)
         self._cluster.run_finished(self)

@@ -28,13 +28,16 @@ class LockManager:
 
     Lock owners are identified by run id (an integer from
     :func:`repro.netsim.messages.next_run_id`); grant callbacks fire
-    synchronously when the lock becomes available.
+    synchronously when the lock becomes available.  ``wait_counter`` (an
+    :class:`repro.obs.metrics.Counter`, optional) is bumped whenever a
+    request has to queue behind the current holder.
     """
 
-    def __init__(self, site: SiteId) -> None:
+    def __init__(self, site: SiteId, wait_counter=None) -> None:
         self._site = site
         self._holder: int | None = None
         self._waiters: deque[tuple[int, Callable[[], None]]] = deque()
+        self._wait_counter = wait_counter
 
     @property
     def site(self) -> SiteId:
@@ -64,6 +67,8 @@ class LockManager:
             self._holder = run_id
             granted()
         else:
+            if self._wait_counter is not None:
+                self._wait_counter.inc()
             self._waiters.append((run_id, granted))
 
     def release(self, run_id: int) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from ..errors import NetworkError
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.topology import Topology
 from ..types import SiteId
@@ -23,14 +24,21 @@ __all__ = ["MessageNetwork"]
 
 
 class MessageNetwork:
-    """Deliver messages between sites over a failing topology."""
+    """Deliver messages between sites over a failing topology.
+
+    ``observer`` receives structured trace records
+    (``observer(time, category, description, **fields)``); ``metrics``
+    (optional) collects per-message-type counters under
+    ``netsim.message.*``.
+    """
 
     def __init__(
         self,
         simulator: Simulator,
         topology: Topology,
         latency: float = 0.01,
-        observer: Callable[[float, str, str], None] | None = None,
+        observer: Callable[..., None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if latency <= 0:
             raise NetworkError(f"latency must be positive: {latency}")
@@ -38,6 +46,7 @@ class MessageNetwork:
         self._topology = topology
         self._latency = latency
         self._observer = observer
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
         self._handlers: dict[SiteId, Callable[[SiteId, Message], None]] = {}
         self._sent = 0
         self._delivered = 0
@@ -78,6 +87,10 @@ class MessageNetwork:
         if not self._topology.is_up(source):
             raise NetworkError(f"down site {source!r} cannot send")
         self._sent += 1
+        if self._metrics.enabled:
+            self._metrics.counter(
+                f"netsim.message.sent.{type(message).__name__}"
+            ).inc()
         self._simulator.schedule(
             self._latency, lambda: self._deliver(source, destination, message)
         )
@@ -99,6 +112,10 @@ class MessageNetwork:
                 lost_reason = "partitioned"
         if lost_reason is not None:
             self._lost += 1
+            if self._metrics.enabled:
+                self._metrics.counter(
+                    f"netsim.message.lost.{lost_reason.replace(' ', '-')}"
+                ).inc()
             if self._observer is not None:
                 self._observer(
                     self._simulator.now,
@@ -106,6 +123,11 @@ class MessageNetwork:
                     f"{source} -> {destination} "
                     f"{type(message).__name__}(run {message.run_id}) "
                     f"LOST ({lost_reason})",
+                    source=source,
+                    destination=destination,
+                    message=type(message).__name__,
+                    run_id=message.run_id,
+                    lost=lost_reason,
                 )
             return
         handler = self._handlers.get(destination)
@@ -113,11 +135,19 @@ class MessageNetwork:
             self._lost += 1
             return
         self._delivered += 1
+        if self._metrics.enabled:
+            self._metrics.counter(
+                f"netsim.message.delivered.{type(message).__name__}"
+            ).inc()
         if self._observer is not None:
             self._observer(
                 self._simulator.now,
                 "message",
                 f"{source} -> {destination} {type(message).__name__}"
                 f"(run {message.run_id})",
+                source=source,
+                destination=destination,
+                message=type(message).__name__,
+                run_id=message.run_id,
             )
         handler(source, message)

@@ -62,6 +62,7 @@ class _InDoubt:
 
     coordinator: SiteId
     timer: Any = None  # EventHandle of the next termination-protocol probe
+    span: Any = None   # open "in-doubt" Span, if telemetry is on
 
 
 class Node:
@@ -78,7 +79,14 @@ class Node:
         self.history: list[AppliedUpdate] = [AppliedUpdate(0, initial_value, 0)]
         self.decision_log: dict[int, CommitMessage | None] = {}
         # Volatile state.
-        self.locks = LockManager(site)
+        self.locks = LockManager(
+            site,
+            wait_counter=(
+                cluster.metrics.counter("netsim.lock.waits")
+                if cluster.metrics.enabled
+                else None
+            ),
+        )
         self._in_doubt: dict[int, _InDoubt] = {}
 
     # ------------------------------------------------------------------ #
@@ -91,6 +99,10 @@ class Node:
         for record in self._in_doubt.values():
             if record.timer is not None:
                 record.timer.cancel()
+            if record.span is not None:
+                record.span.close_if_open(
+                    self._cluster.simulator.now, outcome="site-failed"
+                )
         self._in_doubt.clear()
 
     # ------------------------------------------------------------------ #
@@ -145,7 +157,16 @@ class Node:
         run_id = message.run_id
 
         def granted() -> None:
-            self._in_doubt[run_id] = _InDoubt(coordinator=sender)
+            self._in_doubt[run_id] = _InDoubt(
+                coordinator=sender,
+                span=self._cluster.spans.open(
+                    "in-doubt",
+                    self._cluster.simulator.now,
+                    run_id=run_id,
+                    site=self.site,
+                    coordinator=sender,
+                ),
+            )
             self._schedule_termination_probe(run_id)
             self._cluster.network.send(
                 self.site, sender, VoteReply(run_id, self.site, self.metadata)
@@ -164,8 +185,11 @@ class Node:
     def _settle(self, run_id: int) -> None:
         """Release the lock and stop the termination probe for a run."""
         record = self._in_doubt.pop(run_id, None)
-        if record is not None and record.timer is not None:
-            record.timer.cancel()
+        if record is not None:
+            if record.timer is not None:
+                record.timer.cancel()
+            if record.span is not None:
+                record.span.close_if_open(self._cluster.simulator.now)
         self.locks.release_if_involved(run_id)
 
     def _on_catch_up_request(self, sender: SiteId, message: CatchUpRequest) -> None:
@@ -192,6 +216,8 @@ class Node:
         if record is None:
             return
         if self._cluster.topology.is_up(self.site):
+            if self._cluster.metrics.enabled:
+                self._cluster.metrics.counter("netsim.termination.probes").inc()
             self._cluster.network.send(
                 self.site,
                 record.coordinator,

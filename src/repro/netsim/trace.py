@@ -1,9 +1,12 @@
 """Structured tracing for the message-level simulator.
 
-A :class:`TraceLog` collects timestamped events from the cluster -- run
-lifecycle transitions, topology changes, message deliveries and losses --
-so tests can assert on protocol *behaviour* (not just final state) and
-examples can show a readable transcript of a distributed execution.
+The trace machinery now lives in :mod:`repro.obs.trace` so every substrate
+shares one structured event type; this module re-exports it under its
+historical home.  A :class:`TraceLog` collects timestamped events from the
+cluster -- run lifecycle transitions, topology changes, message deliveries
+and losses, span closures -- so tests can assert on protocol *behaviour*
+(not just final state) and examples can show a readable transcript of a
+distributed execution.
 
 Tracing is opt-in (``ReplicaCluster(..., trace=True)``); when disabled the
 hot paths skip the recording entirely.
@@ -11,79 +14,6 @@ hot paths skip the recording entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from collections.abc import Iterable
+from ..obs.trace import TraceEvent, TraceLog
 
 __all__ = ["TraceEvent", "TraceLog"]
-
-
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """One timestamped trace record."""
-
-    time: float
-    category: str
-    description: str
-
-    def render(self) -> str:
-        """``t=0.0300 [message] A -> B VoteReply``-style line."""
-        return f"t={self.time:8.4f} [{self.category}] {self.description}"
-
-
-class TraceLog:
-    """An append-only event log with simple filtering and rendering."""
-
-    #: Categories produced by the cluster.
-    CATEGORIES = ("run", "topology", "message", "lock")
-
-    def __init__(self, capacity: int = 100_000) -> None:
-        self._events: list[TraceEvent] = []
-        self._capacity = capacity
-        self._dropped = 0
-
-    def record(self, time: float, category: str, description: str) -> None:
-        """Append an event (drops silently past the capacity bound)."""
-        if len(self._events) >= self._capacity:
-            self._dropped += 1
-            return
-        self._events.append(TraceEvent(time, category, description))
-
-    @property
-    def events(self) -> tuple[TraceEvent, ...]:
-        """All recorded events, chronological."""
-        return tuple(self._events)
-
-    @property
-    def dropped(self) -> int:
-        """Events dropped after the capacity bound was hit."""
-        return self._dropped
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def category(self, name: str) -> tuple[TraceEvent, ...]:
-        """Events of one category."""
-        return tuple(e for e in self._events if e.category == name)
-
-    def matching(self, needle: str) -> tuple[TraceEvent, ...]:
-        """Events whose description contains ``needle``."""
-        return tuple(e for e in self._events if needle in e.description)
-
-    def render(
-        self,
-        categories: Iterable[str] | None = None,
-        limit: int | None = None,
-    ) -> str:
-        """Readable transcript, optionally filtered and truncated."""
-        wanted = set(categories) if categories is not None else None
-        selected = [
-            e for e in self._events if wanted is None or e.category in wanted
-        ]
-        if limit is not None and len(selected) > limit:
-            omitted = len(selected) - limit
-            selected = selected[:limit]
-            return (
-                "\n".join(e.render() for e in selected)
-                + f"\n... ({omitted} more)"
-            )
-        return "\n".join(e.render() for e in selected)

@@ -1,0 +1,73 @@
+"""Telemetry for the repro substrates: metrics, spans, traces, manifests.
+
+The observability layer sits just above :mod:`repro.errors` /
+:mod:`repro.types` so every execution substrate (``sim``, ``netsim``,
+``markov``, ``analysis``) can report through one instrumentation API:
+
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms in a
+  :class:`MetricsRegistry` with named scopes and a near-zero-overhead
+  disabled mode (:data:`NULL_REGISTRY`), plus a process-global registry
+  (:func:`global_registry` / :func:`use`) for deep layers.
+* :mod:`repro.obs.trace` -- the structured :class:`TraceEvent` /
+  :class:`TraceLog` (typed fields, JSONL export, per-category drop
+  accounting); re-exported by :mod:`repro.netsim.trace` for
+  compatibility.
+* :mod:`repro.obs.spans` -- sim-time :class:`Span` intervals (vote
+  rounds, catch-up, in-doubt windows) with LIFO nesting enforcement.
+* :mod:`repro.obs.clock` -- the only module allowed to read the wall
+  clock (replint REP002 exempts exactly that file).
+* :mod:`repro.obs.manifest` -- the :class:`RunManifest` JSON artifact
+  (seed, protocol, params, git describe, metric snapshots) with schema
+  validation; deterministic modulo :data:`WALL_CLOCK_FIELDS`.
+
+See ``docs/OBSERVABILITY.md`` for the metric name tables, the span
+taxonomy, and the manifest schema.
+"""
+
+from .clock import Stopwatch, perf_seconds, utc_timestamp, wall_time
+from .manifest import (
+    SCHEMA_VERSION,
+    WALL_CLOCK_FIELDS,
+    RunManifest,
+    git_describe,
+    strip_wall_clock,
+    validate_manifest,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    global_registry,
+    use,
+)
+from .spans import NULL_TRACKER, Span, SpanTracker
+from .trace import TraceEvent, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_REGISTRY",
+    "global_registry",
+    "use",
+    "Span",
+    "SpanTracker",
+    "NULL_TRACKER",
+    "TraceEvent",
+    "TraceLog",
+    "Stopwatch",
+    "perf_seconds",
+    "utc_timestamp",
+    "wall_time",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "WALL_CLOCK_FIELDS",
+    "git_describe",
+    "strip_wall_clock",
+    "validate_manifest",
+]

@@ -1,0 +1,194 @@
+"""Sim-time spans: named intervals over the discrete-event clock.
+
+A :class:`Span` measures one protocol-level interval -- a vote round, a
+catch-up exchange, a subordinate's in-doubt window -- in *simulated* time.
+Spans form a forest: a span opened with a ``parent`` is that parent's
+child, and closing is LIFO-enforced *along each parent chain*: closing a
+span whose children are still open raises
+:class:`~repro.errors.ObservabilityError`.  (A global stack would be
+wrong here: concurrent protocol runs interleave freely, so only the
+within-run nesting is a protocol invariant.)
+
+Closing a span emits a structured ``span`` :class:`~repro.obs.trace.TraceEvent`
+into the attached trace log (name, start, end, duration, plus any typed
+fields) and records the duration in a ``span.<name>`` histogram of the
+attached metrics registry.  Both sinks are optional; with neither, the
+tracker still enforces nesting, which is what the tests lean on.
+
+When telemetry is off entirely, use :data:`NULL_TRACKER`: its
+:meth:`~SpanTracker.open` returns a shared no-op span, so instrumented
+code pays one method call and no allocation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ObservabilityError
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import TraceLog
+
+__all__ = ["Span", "SpanTracker", "NULL_TRACKER"]
+
+
+class Span:
+    """One named sim-time interval; close exactly once, children first."""
+
+    __slots__ = ("name", "start", "fields", "end", "_parent", "_open_children", "_tracker")
+
+    def __init__(
+        self,
+        tracker: "SpanTracker",
+        name: str,
+        start: float,
+        parent: "Span | None",
+        fields: dict,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.fields = fields
+        self.end: float | None = None
+        self._tracker = tracker
+        self._parent = parent
+        self._open_children = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end is not None
+
+    @property
+    def parent(self) -> "Span | None":
+        """The enclosing span, if any."""
+        return self._parent
+
+    @property
+    def duration(self) -> float | None:
+        """end - start once closed, else None."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def close(self, time: float, **fields: object) -> None:
+        """Close at sim time ``time``; extra fields join the span event.
+
+        Raises :class:`~repro.errors.ObservabilityError` when the span is
+        already closed, when a child span is still open (LIFO violation),
+        or when ``time`` precedes the span's start.
+        """
+        if self.end is not None:
+            raise ObservabilityError(f"span {self.name!r} closed twice")
+        if self._open_children:
+            raise ObservabilityError(
+                f"span {self.name!r} closed while {self._open_children} "
+                "child span(s) are still open (closes must be LIFO)"
+            )
+        if time < self.start:
+            raise ObservabilityError(
+                f"span {self.name!r} closes at {time} before it opened "
+                f"at {self.start}"
+            )
+        self.end = time
+        self.fields.update(fields)
+        if self._parent is not None:
+            self._parent._open_children -= 1
+        self._tracker._on_close(self)
+
+    def close_if_open(self, time: float, **fields: object) -> None:
+        """Close unless already closed (for error/teardown paths)."""
+        if self.end is None:
+            self.close(time, **fields)
+
+
+class _NullSpan(Span):
+    """Shared inert span returned by the disabled tracker."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        super().__init__(NULL_TRACKER, "null", 0.0, None, {})
+
+    def close(self, time: float, **fields: object) -> None:  # noqa: ARG002
+        pass
+
+
+class SpanTracker:
+    """Opens spans, enforces nesting, and fans closes out to the sinks."""
+
+    __slots__ = ("_trace_log", "_metrics", "_open", "_closed_count")
+
+    def __init__(
+        self,
+        trace_log: TraceLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._trace_log = trace_log
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._open = 0
+        self._closed_count = 0
+
+    @property
+    def open_count(self) -> int:
+        """Spans currently open."""
+        return self._open
+
+    @property
+    def closed_count(self) -> int:
+        """Spans closed so far."""
+        return self._closed_count
+
+    def open(
+        self,
+        name: str,
+        time: float,
+        parent: Span | None = None,
+        **fields: object,
+    ) -> Span:
+        """Open a span at sim time ``time``, optionally under ``parent``."""
+        if parent is not None:
+            if parent.closed:
+                raise ObservabilityError(
+                    f"span {name!r} opened under already-closed parent "
+                    f"{parent.name!r}"
+                )
+            parent._open_children += 1
+        span = Span(self, name, time, parent, dict(fields))
+        self._open += 1
+        return span
+
+    def _on_close(self, span: Span) -> None:
+        self._open -= 1
+        self._closed_count += 1
+        duration = span.duration
+        assert duration is not None
+        if self._metrics.enabled:
+            self._metrics.histogram(f"span.{span.name}").observe(duration)
+        if self._trace_log is not None:
+            self._trace_log.record(
+                span.end if span.end is not None else span.start,
+                "span",
+                f"{span.name} took {duration:.4f}",
+                name=span.name,
+                start=span.start,
+                end=span.end,
+                duration=duration,
+                **span.fields,
+            )
+
+
+class _NullTracker(SpanTracker):
+    """Disabled tracker: hands out the shared no-op span."""
+
+    __slots__ = ()
+
+    def open(
+        self,
+        name: str,
+        time: float,
+        parent: Span | None = None,
+        **fields: object,
+    ) -> Span:  # noqa: ARG002 - intentional no-op
+        return _NULL_SPAN
+
+
+#: The shared disabled tracker (and its single inert span).
+NULL_TRACKER = _NullTracker()
+_NULL_SPAN = _NullSpan()

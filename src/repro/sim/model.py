@@ -66,6 +66,7 @@ class StochasticReplicaSystem:
         self._available = True  # all sites up and fresh: trivially a quorum
         self._updates_accepted = 0
         self._updates_denied = 0
+        self._event_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -106,6 +107,11 @@ class StochasticReplicaSystem:
         """Update attempts denied so far."""
         return self._updates_denied
 
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """Processed events by kind value (``site-failure`` etc.)."""
+        return dict(self._event_counts)
+
     # ------------------------------------------------------------------ #
     # Dynamics
     # ------------------------------------------------------------------ #
@@ -120,6 +126,8 @@ class StochasticReplicaSystem:
         stale members) is installed at every up site.
         """
         event = self._sampler.next_event()
+        kind = event.kind.value
+        self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
         up = self._sampler.up
         if not up:
             self._available = False

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from ..core.base import ReplicaControlProtocol
 from ..core.registry import make_protocol
 from ..errors import SimulationError
+from ..obs.clock import Stopwatch
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..types import SiteId, site_names
 from .failures import Rates
 from .model import AvailabilityAccumulator, StochasticReplicaSystem
@@ -60,6 +62,7 @@ def estimate_availability(
     events: int = 20_000,
     burn_in_events: int = 1_000,
     seed: int = 2026,
+    metrics: MetricsRegistry | None = None,
 ) -> MonteCarloResult:
     """Estimate the site availability of a protocol at one (n, mu/lambda).
 
@@ -77,6 +80,14 @@ def estimate_availability(
         initial events per run.
     seed:
         Master seed; replicate *i* uses the derived stream ``replicate:i``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Records
+        the ``mc.*`` convergence telemetry (per-replicate estimates, the
+        running 95% CI half-width, wall-clock events/sec) and the
+        ``sim.*`` model counters (updates accepted/denied, events by
+        kind) documented in docs/OBSERVABILITY.md.  Everything except
+        the explicitly wall-clock-marked gauges is a deterministic
+        function of the arguments.
     """
     if replicates < 2:
         raise SimulationError("need at least two replicates for a standard error")
@@ -89,6 +100,9 @@ def estimate_availability(
     else:
         name = protocol
         factory = lambda s: make_protocol(name, s)  # noqa: E731
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    mc = registry.scope("mc")
+    stopwatch = Stopwatch() if registry.enabled else None
     streams = RandomStreams(seed)
     rates = Rates.from_ratio(ratio)
     estimates = []
@@ -98,8 +112,28 @@ def estimate_availability(
         system.run(burn_in_events)
         accumulator = AvailabilityAccumulator(system)
         estimates.append(accumulator.run(events))
+        if registry.enabled:
+            mc.counter("replicates").inc()
+            mc.counter("events").inc(events + burn_in_events)
+            mc.histogram("replicate.estimate").observe(estimates[-1])
+            for kind, count in sorted(system.event_counts.items()):
+                registry.counter(f"sim.event.{kind}").inc(count)
+            registry.counter("sim.updates.accepted").inc(system.updates_accepted)
+            registry.counter("sim.updates.denied").inc(system.updates_denied)
+            if len(estimates) >= 2:
+                running = statistics.stdev(estimates) / math.sqrt(len(estimates))
+                mc.gauge("ci.half_width").set(1.96 * running)
     mean = statistics.fmean(estimates)
     stderr = statistics.stdev(estimates) / math.sqrt(replicates)
+    if registry.enabled:
+        mc.gauge("mean").set(mean)
+        mc.gauge("stderr").set(stderr)
+        assert stopwatch is not None
+        elapsed = stopwatch.seconds
+        mc.gauge("wall_time_s", wall_clock=True).set(elapsed)
+        if elapsed > 0:
+            total = replicates * (events + burn_in_events)
+            mc.gauge("events_per_sec", wall_clock=True).set(total / elapsed)
     return MonteCarloResult(
         protocol=str(name),
         n_sites=n_sites,

@@ -112,6 +112,38 @@ class TestRep002NoWallClock:
         )
         assert result.new == []
 
+    def test_obs_clock_module_is_exempt(self, lint_snippet):
+        # The telemetry clock is the single sanctioned wall-clock reader.
+        result = lint_snippet(
+            """
+            import time
+
+            def wall_time():
+                return time.time()
+
+            def perf_seconds():
+                return time.perf_counter()
+            """,
+            "REP002",
+            rel="repro/obs/clock.py",
+        )
+        assert result.new == []
+
+    def test_obs_outside_clock_module_flagged(self, lint_snippet):
+        # The exemption is the module, not the directory: everything else
+        # in obs/ must route through obs.clock.
+        result = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "REP002",
+            rel="repro/obs/metrics.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
 
 class TestRep003NoFloatEquality:
     def test_float_literal_equality_flagged(self, lint_snippet):
@@ -406,6 +438,28 @@ class TestRep008NoCrossLayerImports:
             rel="repro/sim/scratch.py",
         )
         assert result.new == []
+
+    def test_substrates_may_import_obs(self, lint_snippet):
+        result = lint_snippet(
+            """
+            from ..obs.metrics import NULL_REGISTRY
+            """,
+            "REP008",
+            rel="repro/netsim/scratch.py",
+        )
+        assert result.new == []
+
+    def test_obs_importing_a_substrate_flagged(self, lint_snippet):
+        # obs sits below the substrates; it must never look back up.
+        result = lint_snippet(
+            """
+            from repro.sim.engine import Simulator
+            """,
+            "REP008",
+            rel="repro/obs/scratch.py",
+        )
+        assert rules_of(result) == ["REP008"]
+        assert "`obs` must not import from `sim`" in result.new[0].message
 
     def test_cli_and_stdlib_imports_unrestricted(self, lint_snippet):
         result = lint_snippet(

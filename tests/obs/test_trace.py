@@ -1,0 +1,91 @@
+"""Structured trace tests: typed fields, JSONL export, drop accounting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TraceEvent, TraceLog
+
+
+class TestTraceEvent:
+    def test_typed_fields_survive_to_dict(self):
+        event = TraceEvent.of(
+            0.25, "message", "A -> B VoteReply(run 3)",
+            source="A", destination="B", run_id=3,
+        )
+        assert event.to_dict() == {
+            "time": 0.25,
+            "category": "message",
+            "description": "A -> B VoteReply(run 3)",
+            "fields": {"source": "A", "destination": "B", "run_id": 3},
+        }
+
+    def test_field_lookup_with_default(self):
+        event = TraceEvent.of(0.0, "run", "x", site="A")
+        assert event.field("site") == "A"
+        assert event.field("missing", 42) == 42
+
+    def test_render_keeps_the_transcript_format(self):
+        event = TraceEvent.of(0.03, "message", "A -> B VoteReply(run 1)")
+        assert event.render() == "t=  0.0300 [message] A -> B VoteReply(run 1)"
+
+    def test_to_json_round_trips_through_json_loads(self):
+        event = TraceEvent.of(1.5, "lock", "queued", site="B", run_id=2)
+        parsed = json.loads(event.to_json())
+        assert parsed == event.to_dict()
+
+
+class TestJsonlExport:
+    def test_every_line_parses_as_json(self):
+        log = TraceLog()
+        log.record(0.0, "run", "run 1 submitted", run_id=1)
+        log.record(0.1, "message", "A -> B VoteRequest(run 1)", run_id=1)
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["category"] == "run"
+        assert parsed[1]["fields"]["run_id"] == 1
+
+    def test_category_filter(self):
+        log = TraceLog()
+        log.record(0.0, "run", "a")
+        log.record(0.1, "message", "b")
+        log.record(0.2, "run", "c")
+        docs = [json.loads(line) for line in log.iter_jsonl(("run",))]
+        assert [d["description"] for d in docs] == ["a", "c"]
+
+
+class TestDropAccounting:
+    def test_drops_counted_in_total_and_per_category(self):
+        log = TraceLog(capacity=2)
+        log.record(0.0, "run", "kept 1")
+        log.record(0.1, "message", "kept 2")
+        log.record(0.2, "message", "dropped 1")
+        log.record(0.3, "lock", "dropped 2")
+        log.record(0.4, "message", "dropped 3")
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert log.dropped_by_category == {"message": 2, "lock": 1}
+
+    def test_render_reports_truncation(self):
+        log = TraceLog(capacity=1)
+        log.record(0.0, "run", "kept")
+        log.record(0.1, "message", "gone")
+        log.record(0.2, "message", "gone too")
+        rendered = log.render()
+        assert rendered.endswith(
+            "... (2 dropped at capacity; message: 2)"
+        )
+
+    def test_render_is_silent_when_nothing_dropped(self):
+        log = TraceLog()
+        log.record(0.0, "run", "kept")
+        assert "dropped" not in log.render()
+
+    def test_render_limit_and_drop_notice_compose(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.record(float(i), "run", f"event {i}")
+        lines = log.render(limit=2).splitlines()
+        assert lines[-2] == "... (1 more)"
+        assert lines[-1] == "... (2 dropped at capacity; run: 2)"

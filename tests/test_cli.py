@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,6 +16,14 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.protocol == "hybrid"
         assert args.sites == 5
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
 
 
 class TestCommands:
@@ -59,6 +69,94 @@ class TestCommands:
         ])
         assert code == 0
         assert "analytic" in capsys.readouterr().out
+
+    def test_compare_json(self, capsys):
+        assert main(["compare", "-n", "3", "-r", "1.0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_sites"] == 3
+        assert report["availability"]["hybrid"]["1"] == pytest.approx(0.375)
+
+    def test_compare_manifest(self, tmp_path, capsys):
+        path = tmp_path / "compare.json"
+        code = main(["compare", "-n", "3", "-r", "1.0", "--manifest", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads(path.read_text())
+        assert manifest["command"] == "compare"
+        assert manifest["seed"] is None
+        # The chain-backed protocols each record a numeric solve (voting
+        # has a closed form and never builds a chain).
+        assert manifest["metrics"]["markov.solve.numeric"]["value"] >= 3
+
+    def test_simulate_metrics_and_manifest(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        main([
+            "simulate", "--protocol", "hybrid", "-n", "3", "-r", "1.0",
+            "--events", "500", "--replicates", "2",
+            "--metrics", "--manifest", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert "mc.replicates" in out
+        assert "sim.event.site-failure" in out
+        manifest = json.loads(path.read_text())
+        assert manifest["protocol"] == {"name": "hybrid", "n_sites": 3}
+        assert manifest["seed"] == 2026
+        assert len(manifest["metrics"]) >= 10
+        assert main(["validate-manifest", str(path)]) == 0
+
+    def test_simulate_without_telemetry_flags_prints_no_metrics(self, capsys):
+        main([
+            "simulate", "--protocol", "voting", "-n", "3",
+            "--events", "500", "--replicates", "2",
+        ])
+        assert "mc.replicates" not in capsys.readouterr().out
+
+    def test_trace_renders_the_protocol_transcript(self, capsys):
+        assert main(["trace", "--protocol", "hybrid", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[message]" in out
+        assert "[topology]" in out
+        assert "VoteRequest" in out
+        assert "committed" in out
+
+    def test_trace_jsonl_parses_line_by_line(self, capsys):
+        assert main(["trace", "-n", "3", "--jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) > 10
+        events = [json.loads(line) for line in lines]
+        assert {"time", "category", "description", "fields"} <= set(events[0])
+        assert any(e["category"] == "span" for e in events)
+
+    def test_trace_category_filter(self, capsys):
+        assert main(["trace", "-n", "3", "--jsonl", "--categories", "run"]) == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert events and all(e["category"] == "run" for e in events)
+
+    def test_trace_is_deterministic_modulo_run_ids(self, capsys):
+        # Run identifiers are process-unique (a fresh CLI process always
+        # starts at 1), so two in-process invocations are compared after
+        # renumbering them by order of first appearance.
+        def normalized():
+            main(["trace", "-n", "3", "--jsonl"])
+            events = [
+                json.loads(line)
+                for line in capsys.readouterr().out.strip().splitlines()
+            ]
+            ids: dict[int, int] = {}
+            for event in events:
+                run_id = event["fields"].get("run_id")
+                if run_id is not None:
+                    fresh = ids.setdefault(run_id, len(ids) + 1)
+                    event["fields"]["run_id"] = fresh
+                    event["description"] = event["description"].replace(
+                        f"run {run_id}", f"run {fresh}"
+                    )
+            return events
+
+        assert normalized() == normalized()
 
     def test_proof(self, capsys):
         assert main(["proof", "-n", "3"]) == 0
