@@ -1,0 +1,111 @@
+"""Perf smoke benchmark: parallel replicates and batched grid solves.
+
+Measures the three speedup paths of docs/PERFORMANCE.md on a small,
+CI-sized workload and -- more importantly -- asserts their correctness
+contracts: the 2-worker Monte-Carlo run is *bitwise identical* to the
+serial one, and the batched / Horner grid sweeps agree with the per-point
+reference to 1e-12.  Speedups are printed (and captured in the
+``BENCH_perf`` manifest under ``REPRO_BENCH_MANIFEST_DIR``) but never
+asserted: CI machines may expose a single core, where the process pool
+legitimately wins nothing.
+
+Unlike the figure benchmarks this module does not use the
+pytest-benchmark fixture, so the telemetry-smoke CI job can run it with
+plain pytest.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.markov import (
+    availability_grid,
+    availability_symbolic,
+    chain_for,
+    clear_symbolic_cache,
+)
+from repro.obs import Stopwatch, use
+from repro.sim import estimate_availability
+
+MC_KWARGS = dict(replicates=6, events=4_000, seed=2026)
+GRID = [0.1 + 19.9 * i / 199 for i in range(200)]
+CHAIN_PROTOCOLS = ("dynamic", "dynamic-linear", "hybrid")
+
+
+def _timed(fn):
+    stopwatch = Stopwatch()
+    result = fn()
+    return result, stopwatch.seconds
+
+
+def test_perf_scaling_smoke(bench_manifest):
+    rows = []
+
+    # -- Parallel Monte-Carlo: serial vs two workers, bitwise identical.
+    with use(bench_manifest.registry):
+        serial, serial_s = _timed(
+            lambda: estimate_availability(
+                "hybrid", 5, 1.0, **MC_KWARGS,
+                metrics=bench_manifest.registry, workers=1,
+            )
+        )
+    parallel, parallel_s = _timed(
+        lambda: estimate_availability("hybrid", 5, 1.0, **MC_KWARGS, workers=2)
+    )
+    assert parallel == serial, "parallel Monte-Carlo must be bitwise serial"
+    rows.append(["montecarlo replicates", serial_s, parallel_s, serial_s / parallel_s])
+
+    # -- Grid solves: per-point vs one stacked solve vs Horner sweep.
+    clear_symbolic_cache()
+    for protocol in CHAIN_PROTOCOLS:
+        chain = chain_for(protocol, 5)
+        per_point, per_point_s = _timed(
+            lambda: [chain.availability(ratio) for ratio in GRID]
+        )
+        with use(bench_manifest.registry):
+            batched, batched_s = _timed(
+                lambda: availability_grid(protocol, 5, GRID, prefer_symbolic=False)
+            )
+        assert max(
+            abs(a - b) for a, b in zip(per_point, batched)
+        ) <= 1e-12, f"batched grid drifted from per-point for {protocol}"
+        rows.append(
+            [f"{protocol} grid ({len(GRID)} pts)", per_point_s, batched_s,
+             per_point_s / batched_s]
+        )
+
+    # -- Symbolic Horner fast path (cache populated once, then swept).
+    availability_symbolic("hybrid", 5)
+    with use(bench_manifest.registry):
+        horner, horner_s = _timed(
+            lambda: availability_grid("hybrid", 5, GRID, prefer_symbolic=True)
+        )
+    numeric = availability_grid("hybrid", 5, GRID, prefer_symbolic=False)
+    assert max(abs(a - b) for a, b in zip(horner, numeric)) <= 1e-9
+    per_point_s = next(r[1] for r in rows if r[0].startswith("hybrid"))
+    rows.append(
+        [f"hybrid horner ({len(GRID)} pts)", per_point_s, horner_s,
+         per_point_s / horner_s]
+    )
+    clear_symbolic_cache()
+
+    if bench_manifest.registry is not None:
+        gauges = bench_manifest.registry.scope("bench.perf")
+        for label, base_s, fast_s, speedup in rows:
+            key = label.split(" ")[0].replace("-", "_")
+            gauges.gauge(f"{key}.speedup", wall_clock=True).set(speedup)
+    bench_manifest.write(
+        "BENCH_perf",
+        protocol={"name": "all", "protocols": ["hybrid", *CHAIN_PROTOCOLS],
+                  "n_sites": 5},
+        params={**MC_KWARGS, "grid_points": len(GRID), "workers": 2},
+        seed=MC_KWARGS["seed"],
+    )
+
+    print()
+    print(
+        render_table(
+            ["path", "baseline s", "optimised s", "speedup"],
+            [[label, base, fast, speed] for label, base, fast, speed in rows],
+            title="perf scaling smoke (baselines are serial / per-point)",
+        )
+    )

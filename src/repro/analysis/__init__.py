@@ -22,7 +22,11 @@ from .figures import (
     figure_series,
 )
 from .report import render_series, render_table
-from .sensitivity import traditional_availability, traditional_crossover
+from .sensitivity import (
+    traditional_availability,
+    traditional_availability_grid,
+    traditional_crossover,
+)
 from .tables import (
     Theorem3Row,
     comparison_table,
@@ -57,6 +61,7 @@ __all__ = [
     "render_table",
     "render_series",
     "traditional_availability",
+    "traditional_availability_grid",
     "traditional_crossover",
     "Theorem3Row",
     "theorem3_table",

@@ -28,7 +28,12 @@ from fractions import Fraction
 from scipy.optimize import brentq
 
 from ..errors import AnalysisError
-from ..markov import availability, availability_exact, availability_symbolic
+from ..markov import (
+    availability,
+    availability_exact,
+    availability_grid,
+    availability_symbolic,
+)
 from ..ratfunc import count_positive_roots
 
 __all__ = [
@@ -97,13 +102,20 @@ def numeric_crossover(
 ) -> float:
     """Floating-point crossover: the zero of the availability difference.
 
-    Scans a geometric grid for a sign change and refines it with Brent's
-    method.  Raises :class:`AnalysisError` when the difference never
-    changes sign on ``[low, high]``.
+    Scans a geometric grid for a sign change (one batched grid solve per
+    protocol rather than 201 per-point solves) and refines it with
+    Brent's method.  Raises :class:`AnalysisError` when the difference
+    never changes sign on ``[low, high]``.
     """
     diff = _difference(first, second, n)
     points = [low * (high / low) ** (i / 200) for i in range(201)]
-    values = [diff(p) for p in points]
+    values = [
+        a - b
+        for a, b in zip(
+            availability_grid(first, n, points),
+            availability_grid(second, n, points),
+        )
+    ]
     for (p0, v0), (p1, v1) in zip(zip(points, values), zip(points[1:], values[1:])):
         # An exact zero means the grid point *is* the root; any
         # tolerance here would shadow the Brent refinement below.

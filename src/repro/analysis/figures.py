@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import AnalysisError
-from ..markov import normalized_availability
+from ..markov import availability_grid, up_probability
 from .report import render_series
 
 __all__ = ["FigureSeries", "figure3_series", "figure4_series", "figure_series"]
@@ -61,13 +61,22 @@ def figure_series(
     steps: int,
     protocols: tuple[str, ...] = FIGURE_PROTOCOLS,
 ) -> FigureSeries:
-    """Normalised availability curves over a uniform ratio grid."""
+    """Normalised availability curves over a uniform ratio grid.
+
+    Each chain-based curve costs one batched solve (or a cached-symbolic
+    Horner sweep) via :func:`repro.markov.availability_grid` rather than
+    one linear solve per grid point -- docs/PERFORMANCE.md.
+    """
     if steps < 2:
         raise AnalysisError(f"need at least two grid points, got {steps}")
     ratios = tuple(low + (high - low) * i / (steps - 1) for i in range(steps))
+    up = [up_probability(ratio) for ratio in ratios]
+    if any(p == 0 for p in up):
+        raise AnalysisError("normalised availability undefined at ratio 0")
     curves = {
         protocol: tuple(
-            normalized_availability(protocol, n, ratio) for ratio in ratios
+            value / p
+            for value, p in zip(availability_grid(protocol, n, ratios), up)
         )
         for protocol in protocols
     }

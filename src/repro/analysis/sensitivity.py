@@ -15,6 +15,7 @@ crossover result.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 
 from scipy.optimize import brentq
 
@@ -22,7 +23,11 @@ from ..errors import AnalysisError
 from ..markov import CHAIN_BUILDERS, chain_for
 from ..quorums import majority_availability, uniform_up_probability
 
-__all__ = ["traditional_availability", "traditional_crossover"]
+__all__ = [
+    "traditional_availability",
+    "traditional_availability_grid",
+    "traditional_crossover",
+]
 
 
 def traditional_availability(protocol_name: str, n: int, ratio) -> float:
@@ -45,6 +50,40 @@ def traditional_availability(protocol_name: str, n: int, ratio) -> float:
     return float(sum(p for state, p in pi.items() if chain.weight(state) > 0))
 
 
+def traditional_availability_grid(
+    protocol_name: str, n: int, ratios: Sequence[float]
+) -> tuple[float, ...]:
+    """Traditional-measure availabilities across a whole ratio grid.
+
+    The batched counterpart of :func:`traditional_availability`: chain
+    protocols pay one stacked solve for all K ratios
+    (:meth:`~repro.markov.ChainSpec.steady_state_grid`) and sum the mass
+    on the available states; voting keeps its closed binomial form.
+    """
+    points = [float(ratio) for ratio in ratios]
+    if protocol_name == "voting":
+        return tuple(
+            majority_availability(
+                n, uniform_up_probability(point), measure="traditional"
+            )
+            for point in points
+        )
+    if protocol_name not in CHAIN_BUILDERS:
+        raise AnalysisError(
+            f"no chain for {protocol_name!r}; traditional measure undefined"
+        )
+    chain = chain_for(protocol_name, n)
+    distributions = chain.steady_state_grid(points)
+    available = [
+        index
+        for index, state in enumerate(chain.states)
+        if chain.weight(state) > 0
+    ]
+    return tuple(
+        float(distributions[k, available].sum()) for k in range(len(points))
+    )
+
+
 def traditional_crossover(
     first: str, second: str, n: int, low: float = 0.01, high: float = 50.0
 ) -> float:
@@ -56,7 +95,13 @@ def traditional_crossover(
         )
 
     points = [low * (high / low) ** (i / 200) for i in range(201)]
-    values = [difference(p) for p in points]
+    values = [
+        a - b
+        for a, b in zip(
+            traditional_availability_grid(first, n, points),
+            traditional_availability_grid(second, n, points),
+        )
+    ]
     for (p0, v0), (p1, v1) in zip(
         zip(points, values), zip(points[1:], values[1:])
     ):

@@ -24,7 +24,7 @@ from collections.abc import Sequence
 
 from ..core.registry import make_protocol
 from ..errors import AnalysisError
-from ..markov import availability, availability_exact, derive_chain
+from ..markov import availability, availability_exact, availability_grid, derive_chain
 from ..obs.metrics import MetricsRegistry
 from ..sim import estimate_availability
 from ..types import site_names
@@ -71,13 +71,22 @@ def grid_agreement(
     n: int,
     ratios: Sequence[Fraction] | None = None,
 ) -> GridAgreement:
-    """Compare float and exact availabilities across a ratio grid."""
+    """Compare float and exact availabilities across a ratio grid.
+
+    The float side goes through the batched grid solver (one stacked
+    ``np.linalg.solve`` for the whole grid, ``prefer_symbolic=False`` so
+    it genuinely exercises the linear-algebra path); the exact side stays
+    point-by-point Fraction elimination -- two independent computations,
+    as the paper's 3600-point check demands.
+    """
     if ratios is None:
         ratios = paper_grid()
+    numeric_values = availability_grid(
+        protocol, n, [float(ratio) for ratio in ratios], prefer_symbolic=False
+    )
     worst = 0.0
-    for ratio in ratios:
+    for ratio, numeric in zip(ratios, numeric_values):
         exact = float(availability_exact(protocol, n, Fraction(ratio)))
-        numeric = availability(protocol, n, float(ratio))
         worst = max(worst, abs(exact - numeric))
     return GridAgreement(protocol, n, len(ratios), worst)
 
@@ -91,6 +100,7 @@ def montecarlo_agreement(
     events: int = 20_000,
     seed: int = 2026,
     metrics: MetricsRegistry | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Check the analytic availability sits inside the Monte-Carlo band.
 
@@ -98,12 +108,14 @@ def montecarlo_agreement(
     value falls outside a ~4-sigma confidence interval (which, given the
     chain derivations are exact, indicates a protocol/chain mismatch, not
     noise).  ``metrics`` is forwarded to the Monte-Carlo estimator (the
-    ``mc.*`` / ``sim.*`` series of docs/OBSERVABILITY.md).
+    ``mc.*`` / ``sim.*`` series of docs/OBSERVABILITY.md), as is
+    ``workers`` (parallel replicates are bitwise identical to serial,
+    docs/PERFORMANCE.md).
     """
     analytic = availability(protocol, n, ratio)
     result = estimate_availability(
         protocol, n, ratio, replicates=replicates, events=events, seed=seed,
-        metrics=metrics,
+        metrics=metrics, workers=workers,
     )
     if not result.agrees_with(analytic):
         low, high = result.confidence_interval(3.89)

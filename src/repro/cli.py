@@ -107,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", type=int, default=20_000)
     p.add_argument("--replicates", type=int, default=8)
     p.add_argument("--seed", type=int, default=2026)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the Monte-Carlo replicates "
+             "(0 = all CPUs; default: REPRO_WORKERS or 1; results are "
+             "bitwise identical at any setting, docs/PERFORMANCE.md)",
+    )
     p.add_argument("--metrics", action="store_true",
                    help="print the metric registry after the run")
     p.add_argument("--manifest", metavar="PATH",
@@ -298,6 +304,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 events=args.events,
                 seed=args.seed,
                 metrics=registry,
+                workers=args.workers,
             )
         low, high = result.confidence_interval()
         print(
@@ -320,6 +327,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "ratio": args.ratio,
                     "events": args.events,
                     "replicates": args.replicates,
+                    "workers": args.workers,
                     "analytic": analytic,
                     "mean": result.mean,
                     "stderr": result.stderr,

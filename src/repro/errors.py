@@ -20,6 +20,7 @@ __all__ = [
     "NetworkError",
     "AnalysisError",
     "ChainError",
+    "PerfError",
     "AlgebraError",
     "SingularSystemError",
     "ObservabilityError",
@@ -85,6 +86,10 @@ class AnalysisError(ReproError):
 
 class ChainError(AnalysisError):
     """A Markov chain definition is malformed (bad rates, unreachable states)."""
+
+
+class PerfError(ReproError):
+    """Performance-layer misuse (bad worker counts, malformed REPRO_WORKERS)."""
 
 
 class ObservabilityError(ReproError):

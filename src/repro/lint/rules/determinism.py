@@ -18,13 +18,20 @@ from ..registry import FileContext, FileRule, register
 RNG_MODULE = "sim/rng.py"
 
 #: Directories whose code must never read the wall clock.
-REPLAYABLE_DIRS = ("sim", "netsim", "markov", "obs")
+REPLAYABLE_DIRS = ("sim", "netsim", "markov", "obs", "perf")
 
 #: The only module allowed to read the wall clock: telemetry throughput
 #: and manifest timestamps funnel through here (docs/OBSERVABILITY.md).
 #: The exemption is by module, not by inline suppression, so the rule
 #: stays unsuppressible everywhere else.
 CLOCK_MODULE = "obs/clock.py"
+
+#: The only module allowed to spawn workers or probe CPU counts: the
+#: perf layer's executor abstraction (docs/PERFORMANCE.md).  Accidental
+#: parallelism anywhere else would introduce scheduling nondeterminism
+#: that the bitwise serial-vs-parallel contract cannot survive, so the
+#: exemption is by module, mirroring CLOCK_MODULE.
+EXECUTOR_MODULE = "perf/executor.py"
 
 
 @register
@@ -86,21 +93,37 @@ class NoDirectRandom(FileRule):
 
 @register
 class NoWallClock(FileRule):
-    """REP002: simulated components must not consult the wall clock."""
+    """REP002: no wall clock in simulated code, no ad-hoc parallelism.
+
+    Two faces of the same determinism contract: wall-clock reads make
+    traces unreproducible, and worker pools introduce scheduling
+    nondeterminism.  Each has exactly one sanctioned module
+    (:data:`CLOCK_MODULE`, :data:`EXECUTOR_MODULE`).
+    """
 
     code = "REP002"
     name = "no-wall-clock"
     severity = Severity.ERROR
     description = (
         "wall-clock access (time.time, datetime.now, perf_counter) in "
-        "sim/, netsim/, markov/ or obs/ (only obs/clock.py may)"
+        "sim/, netsim/, markov/, obs/ or perf/ (only obs/clock.py may), "
+        "or parallelism primitives (concurrent.futures, multiprocessing, "
+        "os.cpu_count) outside perf/executor.py"
     )
     rationale = (
         "Replayability: simulation and chain code is parameterised by "
         "*model* time only; wall-clock reads make traces unreproducible. "
         "Telemetry's sanctioned wall-clock access lives in obs/clock.py "
-        "and feeds only wall-clock-marked metrics."
+        "and feeds only wall-clock-marked metrics.  Likewise the bitwise "
+        "serial-vs-parallel contract (docs/PERFORMANCE.md) holds only "
+        "because every worker pool flows through the order-preserving "
+        "executors of perf/executor.py."
     )
+
+    #: Module roots whose import signals hand-rolled parallelism.
+    _PARALLEL_ROOTS = {"concurrent", "multiprocessing"}
+    #: CPU-count probes, as ``os.<attr>`` calls or bare imported names.
+    _CPU_PROBES = {"cpu_count", "process_cpu_count"}
 
     _CLOCK_ATTRS = {
         ("time", "time"),
@@ -117,6 +140,8 @@ class NoWallClock(FileRule):
     _CLOCK_NAMES = {"perf_counter", "perf_counter_ns", "monotonic", "time_ns"}
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_file(EXECUTOR_MODULE):
+            yield from self._check_parallelism(ctx)
         if not ctx.in_dirs(*REPLAYABLE_DIRS):
             return
         if ctx.is_file(CLOCK_MODULE):
@@ -144,3 +169,53 @@ class NoWallClock(FileRule):
                     node.lineno,
                     f"wall-clock call `{func.id}()` in replayable code",
                 )
+
+    def _check_parallelism(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag worker pools and CPU probes outside the executor module.
+
+        Applies to the whole package (not just REPLAYABLE_DIRS): a stray
+        thread pool in analysis/ would be just as scheduling-dependent.
+        """
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._PARALLEL_ROOTS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"direct `import {alias.name}` (worker pools "
+                            "belong in perf/executor.py)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                if module.split(".")[0] in self._PARALLEL_ROOTS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"direct `from {module} import ...` (worker pools "
+                        "belong in perf/executor.py)",
+                    )
+                elif module == "os" and any(
+                    alias.name in self._CPU_PROBES for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "CPU-count probe imported from os (worker sizing "
+                        "belongs in perf/executor.py)",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._CPU_PROBES
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"CPU-count probe `os.{func.attr}()` (worker "
+                        "sizing belongs in perf/executor.py)",
+                    )

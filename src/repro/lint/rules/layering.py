@@ -24,12 +24,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "types": frozenset({"errors"}),
     "obs": frozenset({"errors", "types"}),
+    "perf": frozenset({"errors", "types", "obs"}),
     "ratfunc": frozenset({"errors", "types"}),
     "quorums": frozenset({"ratfunc", "errors", "types"}),
     "core": frozenset({"errors", "types"}),
     "lint": frozenset({"errors", "types"}),
     "markov": frozenset({"core", "obs", "ratfunc", "errors", "types"}),
-    "sim": frozenset({"core", "obs", "errors", "types"}),
+    "sim": frozenset({"core", "obs", "perf", "errors", "types"}),
     "reassignment": frozenset({"core", "quorums", "errors", "types"}),
     "netsim": frozenset({"core", "obs", "sim", "errors", "types"}),
     "analysis": frozenset(

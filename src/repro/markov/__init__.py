@@ -14,9 +14,12 @@ from .availability import (
     availability,
     availability_exact,
     availability_symbolic,
+    clear_symbolic_cache,
     normalized_availability,
+    symbolic_cached,
     up_probability,
 )
+from .availability import grid as availability_grid
 from .builder import (
     Configuration,
     derive_chain,
@@ -84,8 +87,11 @@ __all__ = [
     "expected_blocked_fraction",
     "heterogeneous_steady_state",
     "availability_exact",
+    "availability_grid",
     "availability_symbolic",
+    "clear_symbolic_cache",
     "normalized_availability",
+    "symbolic_cached",
     "up_probability",
     "ANALYTIC_PROTOCOLS",
 ]

@@ -12,15 +12,20 @@ measure.
 from __future__ import annotations
 
 import functools
+from collections.abc import Sequence
 from fractions import Fraction
 
 from ..errors import AnalysisError
+from ..obs.metrics import global_registry
 from ..ratfunc import Polynomial, RationalFunction
 from .chains import (
     chain_for,
     primary_copy_availability,
+    primary_copy_availability_float,
     primary_site_voting_availability,
+    primary_site_voting_availability_float,
     voting_availability,
+    voting_availability_float,
 )
 from .ctmc import ChainSpec
 
@@ -28,7 +33,10 @@ __all__ = [
     "availability",
     "availability_exact",
     "availability_symbolic",
+    "clear_symbolic_cache",
+    "grid",
     "normalized_availability",
+    "symbolic_cached",
     "up_probability",
     "ANALYTIC_PROTOCOLS",
 ]
@@ -49,6 +57,14 @@ _CLOSED_FORMS = {
     "voting": voting_availability,
     "primary-site-voting": primary_site_voting_availability,
     "primary-copy": primary_copy_availability,
+}
+
+#: Float-native twins of the exact closed forms: the float API computes
+#: in floats end-to-end, keeping exact arithmetic in availability_exact.
+_CLOSED_FORMS_FLOAT = {
+    "voting": voting_availability_float,
+    "primary-site-voting": primary_site_voting_availability_float,
+    "primary-copy": primary_copy_availability_float,
 }
 
 
@@ -73,10 +89,15 @@ def up_probability(ratio: float | Fraction):
 
 
 def availability(protocol_name: str, n: int, ratio: float) -> float:
-    """Site availability (float) of a protocol at ``n`` sites, ratio ``r``."""
+    """Site availability (float) of a protocol at ``n`` sites, ratio ``r``.
+
+    Float-native end to end (Section VI-C): the closed-form protocols use
+    the float binomial forms and the dynamic family the numpy chain
+    solve.  Exact arithmetic lives in :func:`availability_exact`.
+    """
     _check(protocol_name)
-    if protocol_name in _CLOSED_FORMS:
-        return float(_CLOSED_FORMS[protocol_name](n, Fraction(ratio).limit_denominator(10**9)))
+    if protocol_name in _CLOSED_FORMS_FLOAT:
+        return _CLOSED_FORMS_FLOAT[protocol_name](n, float(ratio))
     return _chain(protocol_name, n).availability(ratio)
 
 
@@ -89,18 +110,48 @@ def availability_exact(protocol_name: str, n: int, ratio: Fraction) -> Fraction:
     return _chain(protocol_name, n).availability_exact(ratio)
 
 
-@functools.lru_cache(maxsize=64)
+#: Cache of symbolic solves, peekable by :func:`symbolic_cached` so
+#: :func:`grid` can take the Horner fast path only when the (expensive)
+#: symbolic solve has already been paid for.  A plain dict rather than an
+#: ``lru_cache``: the key population is tiny (protocols x small n) and
+#: membership must be observable.
+_SYMBOLIC_CACHE: dict[tuple[str, int], RationalFunction] = {}
+
+
 def availability_symbolic(protocol_name: str, n: int) -> RationalFunction:
     """Site availability as an exact rational function of ``r = mu/lambda``.
 
     For the chain-based protocols this is the Maple-style symbolic solve;
     for the static closed forms the binomial sum is assembled directly
     (with ``p = r/(1+r)`` substituted, the result is rational in *r*).
+    Results are cached per ``(protocol, n)``.
     """
     _check(protocol_name)
-    if protocol_name in _CLOSED_FORMS:
-        return _closed_form_symbolic(protocol_name, n)
-    return _chain(protocol_name, n).availability_symbolic()
+    key = (protocol_name, n)
+    cached = _SYMBOLIC_CACHE.get(key)
+    if cached is None:
+        if protocol_name in _CLOSED_FORMS:
+            cached = _closed_form_symbolic(protocol_name, n)
+        else:
+            cached = _chain(protocol_name, n).availability_symbolic()
+        _SYMBOLIC_CACHE[key] = cached
+    return cached
+
+
+def symbolic_cached(protocol_name: str, n: int) -> bool:
+    """Whether the symbolic availability is already cached (no solve)."""
+    return (protocol_name, n) in _SYMBOLIC_CACHE
+
+
+def clear_symbolic_cache() -> None:
+    """Drop every cached symbolic solve (tests and benchmarks only).
+
+    Empties the cache :func:`grid`'s Horner fast path keys off, so a
+    caller can force the batched-solve path regardless of what earlier
+    experiments computed (the Theorem 3 machinery caches symbolic
+    availabilities as a side effect).
+    """
+    _SYMBOLIC_CACHE.clear()
 
 
 def _closed_form_symbolic(protocol_name: str, n: int) -> RationalFunction:
@@ -135,6 +186,50 @@ def _closed_form_symbolic(protocol_name: str, n: int) -> RationalFunction:
     else:  # pragma: no cover - guarded by caller
         raise AnalysisError(f"no symbolic closed form for {protocol_name!r}")
     return RationalFunction(numerator, denominator)
+
+
+def grid(
+    protocol_name: str,
+    n: int,
+    ratios: Sequence[float],
+    *,
+    prefer_symbolic: bool = True,
+) -> tuple[float, ...]:
+    """Site availabilities across a whole ratio grid -- the unified fast
+    entry point for Section VI's curves (Figs. 3 and 4, the validation
+    grid, crossover scans).
+
+    Per-protocol dispatch, cheapest-first:
+
+    * closed-form protocols evaluate the float binomial forms per point
+      (no linear algebra at all);
+    * chain protocols whose symbolic availability is already cached
+      (``prefer_symbolic=True``, the default) evaluate the rational
+      function by float Horner per point -- no solves;
+    * otherwise all K points are solved in **one** batched
+      ``np.linalg.solve`` call via :meth:`ChainSpec.availability_grid`.
+
+    Every path agrees with per-point :func:`availability` to ~1e-12
+    (verified in the tests); solve telemetry lands on the global metrics
+    registry (``markov.solve.batched`` / ``markov.solve.horner`` plus the
+    ``markov.solve.grid_size`` histogram, docs/OBSERVABILITY.md).
+    """
+    _check(protocol_name)
+    points = [float(ratio) for ratio in ratios]
+    if not points:
+        raise AnalysisError("availability grid needs at least one ratio")
+    if protocol_name in _CLOSED_FORMS_FLOAT:
+        form = _CLOSED_FORMS_FLOAT[protocol_name]
+        return tuple(form(n, point) for point in points)
+    if prefer_symbolic and symbolic_cached(protocol_name, n):
+        registry = global_registry()
+        if registry.enabled:
+            registry.counter("markov.solve.horner").inc()
+            registry.histogram("markov.solve.grid_size").observe(len(points))
+        symbolic = availability_symbolic(protocol_name, n)
+        return tuple(symbolic.evaluate_grid(points))
+    values = _chain(protocol_name, n).availability_grid(points)
+    return tuple(float(value) for value in values)
 
 
 def normalized_availability(protocol_name: str, n: int, ratio: float) -> float:

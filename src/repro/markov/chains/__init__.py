@@ -18,9 +18,12 @@ from .hybrid import hybrid_chain, state_tuple
 from .optimal import optimal_candidate_chain
 from .voting import (
     primary_copy_availability,
+    primary_copy_availability_float,
     primary_site_voting_chain,
     primary_site_voting_availability,
+    primary_site_voting_availability_float,
     voting_availability,
+    voting_availability_float,
     voting_chain,
 )
 
@@ -34,6 +37,9 @@ __all__ = [
     "voting_availability",
     "primary_site_voting_availability",
     "primary_copy_availability",
+    "voting_availability_float",
+    "primary_site_voting_availability_float",
+    "primary_copy_availability_float",
     "state_tuple",
     "CHAIN_BUILDERS",
     "chain_for",

@@ -27,6 +27,9 @@ __all__ = [
     "voting_availability",
     "primary_site_voting_availability",
     "primary_copy_availability",
+    "voting_availability_float",
+    "primary_site_voting_availability_float",
+    "primary_copy_availability_float",
 ]
 
 
@@ -131,3 +134,44 @@ def primary_copy_availability(n: int, ratio: Fraction) -> Fraction:
         raise ChainError(f"need at least one site, got {n}")
     p = Fraction(ratio) / (1 + Fraction(ratio))
     return p * (1 + (n - 1) * p) / n
+
+
+# --------------------------------------------------------------------- #
+# Float-native closed forms (the hot path of Section VI's curves)
+# --------------------------------------------------------------------- #
+# Same binomial sums as above with ordinary floats instead of Fractions:
+# the unified availability() float API calls these, so a figure grid no
+# longer pays a Fraction.limit_denominator round-trip per point.  Exact
+# arithmetic stays available through the Fraction forms above (the
+# paper's "computed exactly using rational arithmetic").
+
+
+def voting_availability_float(n: int, ratio: float) -> float:
+    """Float site availability of simple majority voting (Section VI-C)."""
+    if n < 1:
+        raise ChainError(f"need at least one site, got {n}")
+    p = ratio / (1.0 + ratio)
+    q = 1.0 - p
+    total = 0.0
+    for k in range(n // 2 + 1, n + 1):
+        total += (k / n) * math.comb(n, k) * p**k * q ** (n - k)
+    return total
+
+
+def primary_site_voting_availability_float(n: int, ratio: float) -> float:
+    """Float availability of majority voting with a primary tie-break."""
+    total = voting_availability_float(n, ratio)
+    if n % 2 == 0:
+        k = n // 2
+        p = ratio / (1.0 + ratio)
+        q = 1.0 - p
+        total += (k / n) * math.comb(n - 1, k - 1) * p**k * q ** (n - k)
+    return total
+
+
+def primary_copy_availability_float(n: int, ratio: float) -> float:
+    """Float site availability of the primary-copy scheme (Section VI-C)."""
+    if n < 1:
+        raise ChainError(f"need at least one site, got {n}")
+    p = ratio / (1.0 + ratio)
+    return p * (1.0 + (n - 1) * p) / n

@@ -94,6 +94,7 @@ class ChainSpec:
         for state, weight in self._weights.items():
             if weight < 0 or weight > 1:
                 raise ChainError(f"weight for {state!r} out of [0, 1]: {weight}")
+        self._arc_vectors: tuple[np.ndarray, ...] | None = None
         self._check_connected()
 
     # ------------------------------------------------------------------ #
@@ -169,18 +170,24 @@ class ChainSpec:
         np.fill_diagonal(q, -q.sum(axis=1))
         return q
 
-    def _observe_solve(self, mode: str) -> None:
+    def _observe_solve(self, mode: str, grid_size: int | None = None) -> None:
         """Report a steady-state solve to the global metrics registry.
 
         Chain sizes are recorded as gauges at solve time (not at build
         time) so the series do not depend on whether a chain came out of
         an ``lru_cache`` -- solves happen every call, builds do not, and
-        manifest determinism relies on that.
+        manifest determinism relies on that.  Batched solves pass
+        ``grid_size`` (the number of ratios solved in one LAPACK call);
+        the ``markov.solve.batched`` counter plus the
+        ``markov.solve.grid_size`` histogram let manifests distinguish
+        one 20-point batch from 20 per-point solves.
         """
         registry = global_registry()
         if not registry.enabled:
             return
         registry.counter(f"markov.solve.{mode}").inc()
+        if grid_size is not None:
+            registry.histogram("markov.solve.grid_size").observe(grid_size)
         registry.histogram("markov.solve.dimension").observe(self.size)
         scope = registry.scope(f"markov.chain.{self.name}")
         scope.gauge("states").set(self.size)
@@ -206,6 +213,74 @@ class ChainSpec:
         return float(
             sum(float(self._weights[s]) * p for s, p in pi.items())
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched numeric solution over a ratio grid
+    # ------------------------------------------------------------------ #
+
+    def _arc_index_arrays(self) -> tuple[np.ndarray, ...]:
+        """Vectorized arc index: (rows, cols, failures, repairs, weights).
+
+        Built once per chain and cached; the arrays are what lets a whole
+        ratio grid's generator tensor be assembled without re-walking the
+        arc dictionary per point (docs/PERFORMANCE.md).
+        """
+        if self._arc_vectors is None:
+            keys = sorted(self._arcs)
+            rows = np.array([i for i, _ in keys], dtype=np.intp)
+            cols = np.array([j for _, j in keys], dtype=np.intp)
+            fails = np.array([self._arcs[k][0] for k in keys], dtype=np.float64)
+            reps = np.array([self._arcs[k][1] for k in keys], dtype=np.float64)
+            weights = np.array(
+                [float(self._weights[s]) for s in self._states], dtype=np.float64
+            )
+            self._arc_vectors = (rows, cols, fails, reps, weights)
+        return self._arc_vectors
+
+    def steady_state_grid(
+        self, ratios: "np.typing.ArrayLike", lam: float = 1.0
+    ) -> np.ndarray:
+        """Stationary distributions at every ratio, one batched solve.
+
+        Assembles the stacked ``(K, n, n)`` generator tensor from the
+        precomputed arc index and solves all K balance systems in a
+        single ``np.linalg.solve`` call.  Returns a ``(K, n)`` array whose
+        row *k* is the stationary distribution at ``mu = ratios[k] * lam``
+        (state order = :attr:`states`).  Each slice is the same linear
+        system :meth:`steady_state` solves point-by-point, so the results
+        agree to machine precision; the paper's Section VI curves only
+        need the solves, not the Python loop around them.
+        """
+        grid = np.asarray(ratios, dtype=np.float64)
+        if grid.ndim != 1:
+            raise ChainError(f"ratio grid must be one-dimensional: {grid.shape}")
+        if grid.size == 0:
+            raise ChainError("ratio grid is empty")
+        if np.any(grid <= 0):
+            raise ChainError("repair/failure ratios must all be positive")
+        self._observe_solve("batched", grid_size=int(grid.size))
+        rows, cols, fails, reps, _ = self._arc_index_arrays()
+        size = self.size
+        # rates[k, a] = failures_a * lambda + repairs_a * mu_k
+        rates = fails * lam + np.outer(grid * lam, reps)
+        q = np.zeros((grid.size, size, size))
+        q[:, rows, cols] = rates
+        diagonal = np.arange(size)
+        q[:, diagonal, diagonal] = -q.sum(axis=2)
+        a = q.transpose(0, 2, 1).copy()
+        a[:, -1, :] = 1.0
+        b = np.zeros((grid.size, size))
+        b[:, -1] = 1.0
+        return np.linalg.solve(a, b[:, :, None])[:, :, 0]
+
+    def availability_grid(self, ratios: "np.typing.ArrayLike") -> np.ndarray:
+        """Site availabilities across a ratio grid, one batched solve.
+
+        ``(K,)`` array: the batched counterpart of calling
+        :meth:`availability` per point (Section VI's figure curves).
+        """
+        _, _, _, _, weights = self._arc_index_arrays()
+        return self.steady_state_grid(ratios) @ weights
 
     # ------------------------------------------------------------------ #
     # Exact solution at a rational ratio

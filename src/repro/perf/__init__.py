@@ -1,0 +1,29 @@
+"""Performance layer: deterministic parallelism primitives.
+
+Everything here trades wall-clock time for nothing else: results are
+bit-compatible with the serial paths by construction (independent tasks,
+order-preserving executors -- see docs/PERFORMANCE.md for the contract).
+The batched Markov grid solves live with the chains in
+:mod:`repro.markov`; this package owns process-level fan-out, which
+replint confines to :mod:`repro.perf.executor`.
+"""
+
+from .executor import (
+    ENV_WORKERS,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    available_cpus,
+    make_executor,
+    resolve_workers,
+)
+
+__all__ = [
+    "ENV_WORKERS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskExecutor",
+    "available_cpus",
+    "make_executor",
+    "resolve_workers",
+]

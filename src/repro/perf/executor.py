@@ -1,0 +1,146 @@
+"""The one module sanctioned to create worker processes.
+
+The paper's evaluation is embarrassingly parallel: Monte-Carlo replicates
+are independent by construction (each draws from its own derived
+``RandomStreams`` substream), so fanning them out across processes cannot
+change any result -- *provided* nothing else in the tree quietly spawns
+concurrency with its own scheduling nondeterminism.  replint's REP002
+rule therefore bans ``concurrent.futures`` / ``multiprocessing`` imports
+and CPU-count probes everywhere except this file, mirroring the
+``obs/clock.py`` wall-clock exemption.
+
+The contract every executor here honours (docs/PERFORMANCE.md):
+
+* **Order preservation.**  ``map(fn, tasks)`` returns results in task
+  order, regardless of worker completion order.
+* **No shared state.**  ``fn`` must be a module-level callable and each
+  task must carry everything the unit of work needs (both must pickle for
+  the process pool); workers never communicate except through their
+  return values.
+* **Bitwise equivalence.**  Because tasks are independent and results are
+  re-ordered, ``SerialExecutor`` and ``ProcessExecutor`` produce
+  element-for-element identical result lists for the same tasks.
+
+Worker-count resolution (:func:`resolve_workers`): an explicit integer
+wins; ``None`` consults the ``REPRO_WORKERS`` environment variable;
+``0`` (or ``REPRO_WORKERS=auto``) means "all CPUs available to this
+process"; the default is 1 (serial), so parallelism is always opt-in.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+from ..errors import PerfError
+
+__all__ = [
+    "ENV_WORKERS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskExecutor",
+    "available_cpus",
+    "make_executor",
+    "resolve_workers",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+ENV_WORKERS = "REPRO_WORKERS"
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (the meaning of ``workers=0``/``auto``).
+
+    Prefers ``os.process_cpu_count`` (Python 3.13+, affinity-aware) and
+    falls back to ``os.cpu_count``; a machine that reports nothing counts
+    as a single CPU.
+    """
+    probe = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return probe() or 1
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_WORKERS`` > 1.
+
+    ``0`` (or the environment value ``auto``) resolves to
+    :func:`available_cpus`.  Raises :class:`~repro.errors.PerfError` for
+    negative counts or a malformed environment value.
+    """
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if not raw:
+            return 1
+        if raw.lower() == "auto":
+            return available_cpus()
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise PerfError(
+                f"{ENV_WORKERS} must be an integer or 'auto', got {raw!r}"
+            ) from None
+    if workers == 0:
+        return available_cpus()
+    if workers < 0:
+        raise PerfError(f"worker count must be nonnegative, got {workers}")
+    return workers
+
+
+class SerialExecutor:
+    """In-process execution: the reference semantics every pool must match."""
+
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        """Apply ``fn`` to each task, in order."""
+        return [fn(task) for task in tasks]
+
+
+class ProcessExecutor:
+    """A :class:`~concurrent.futures.ProcessPoolExecutor` wrapper.
+
+    Results come back in task order (``Executor.map`` semantics), so a
+    parallel run is indistinguishable from a serial one apart from wall
+    time.  The pool is created per :meth:`map` call and never outlives it,
+    so no worker state leaks between experiments.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise PerfError(
+                f"ProcessExecutor needs at least two workers, got {workers} "
+                "(use SerialExecutor for serial runs)"
+            )
+        self.workers = workers
+
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+    ) -> list[_Result]:
+        """Fan tasks out across the pool; results in task order."""
+        items: Sequence[_Task] = list(tasks)
+        if len(items) <= 1:
+            return SerialExecutor().map(fn, items)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+#: Anything estimate_availability and friends accept as an executor.
+TaskExecutor = SerialExecutor | ProcessExecutor
+
+
+def make_executor(workers: int | None = None) -> TaskExecutor:
+    """The executor for a resolved worker count (1 -> serial)."""
+    count = resolve_workers(workers)
+    if count == 1:
+        return SerialExecutor()
+    return ProcessExecutor(count)

@@ -155,6 +155,23 @@ class RationalFunction:
             raise AlgebraError(f"pole at {point}")
         return self._numerator(point) / denominator
 
+    def evaluate_grid(self, points) -> list[float]:
+        """Float Horner evaluation at many points (the perf fast path).
+
+        Numerator and denominator are each evaluated by
+        :meth:`Polynomial.evaluate_grid` (coefficients floated once,
+        Horner per point); a zero float denominator raises
+        :class:`AlgebraError` as :meth:`__call__` would at a pole.
+        """
+        numerators = self._numerator.evaluate_grid(points)
+        denominators = self._denominator.evaluate_grid(points)
+        values = []
+        for point, num, den in zip(points, numerators, denominators):
+            if den == 0.0:  # replint: disable=REP003
+                raise AlgebraError(f"pole at {point}")
+            values.append(num / den)
+        return values
+
     def sign_at(self, point: Fraction) -> int:
         """Exact sign (-1, 0, +1) at a rational point."""
         value = self(Fraction(point))

@@ -5,11 +5,23 @@ Section VI model and aggregates the time-weighted availability estimates
 into a mean with a standard error, so the analytic Markov results can be
 checked against the *actual protocol implementations* rather than against a
 hand-derived chain only.
+
+Replicates are embarrassingly parallel: replicate *i* draws every random
+number from its own derived substream (``replicate:i:...``), so its
+trajectory is a pure function of ``(seed, i, protocol, n, ratio)`` and
+never of which process ran it or in what order.  ``workers`` fans the
+replicates out through :mod:`repro.perf.executor`; the executors preserve
+task order and the telemetry below is replayed from the collected
+outcomes in replicate order, so a parallel run is **bitwise identical** to
+a serial one -- same :class:`MonteCarloResult`, same deterministic metric
+snapshot (docs/PERFORMANCE.md documents the contract, and the test suite
+holds serial and 2-worker runs equal).
 """
 
 from __future__ import annotations
 
 import math
+import pickle
 import statistics
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -19,6 +31,7 @@ from ..core.registry import make_protocol
 from ..errors import SimulationError
 from ..obs.clock import Stopwatch
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..perf.executor import make_executor, resolve_workers
 from ..types import SiteId, site_names
 from .failures import Rates
 from .model import AvailabilityAccumulator, StochasticReplicaSystem
@@ -53,6 +66,62 @@ class MonteCarloResult:
         return low <= expected <= high
 
 
+@dataclass(frozen=True, slots=True)
+class _ReplicateTask:
+    """Everything one replicate needs, picklable for the process pool.
+
+    ``protocol`` is a registry name or a picklable factory; the RNG is
+    *not* carried -- the worker re-derives the substream from
+    ``(seed, stream_name)``, which is what makes the replicate's
+    trajectory independent of where it runs.
+    """
+
+    protocol: str | Callable[[Sequence[SiteId]], ReplicaControlProtocol]
+    stream_name: str
+    n_sites: int
+    ratio: float
+    events: int
+    burn_in_events: int
+    seed: int
+
+
+@dataclass(frozen=True, slots=True)
+class _ReplicateOutcome:
+    """One replicate's estimate plus the telemetry the parent replays.
+
+    ``task_seconds`` is a wall-clock reading (worker compute time) and
+    feeds only wall-clock-marked gauges.
+    """
+
+    estimate: float
+    event_counts: tuple[tuple[str, int], ...]
+    updates_accepted: int
+    updates_denied: int
+    task_seconds: float
+
+
+def _run_replicate(task: _ReplicateTask) -> _ReplicateOutcome:
+    """Run one replicate (module-level so process pools can import it)."""
+    stopwatch = Stopwatch()
+    sites = site_names(task.n_sites)
+    if callable(task.protocol):
+        protocol = task.protocol(sites)
+    else:
+        protocol = make_protocol(task.protocol, sites)
+    rng = RandomStreams(task.seed).stream(task.stream_name)
+    system = StochasticReplicaSystem(protocol, Rates.from_ratio(task.ratio), rng)
+    system.run(task.burn_in_events)
+    accumulator = AvailabilityAccumulator(system)
+    estimate = accumulator.run(task.events)
+    return _ReplicateOutcome(
+        estimate=estimate,
+        event_counts=tuple(sorted(system.event_counts.items())),
+        updates_accepted=system.updates_accepted,
+        updates_denied=system.updates_denied,
+        task_seconds=stopwatch.seconds,
+    )
+
+
 def estimate_availability(
     protocol: str | Callable[[Sequence[SiteId]], ReplicaControlProtocol],
     n_sites: int,
@@ -63,6 +132,7 @@ def estimate_availability(
     burn_in_events: int = 1_000,
     seed: int = 2026,
     metrics: MetricsRegistry | None = None,
+    workers: int | None = None,
 ) -> MonteCarloResult:
     """Estimate the site availability of a protocol at one (n, mu/lambda).
 
@@ -70,7 +140,8 @@ def estimate_availability(
     ----------
     protocol:
         A registry name (``"hybrid"``, ``"dynamic"``, ...) or a factory
-        accepting the site list.
+        accepting the site list.  With ``workers > 1`` a factory must be
+        picklable (registry names always are).
     n_sites:
         Number of replicas.
     ratio:
@@ -87,53 +158,81 @@ def estimate_availability(
         ``sim.*`` model counters (updates accepted/denied, events by
         kind) documented in docs/OBSERVABILITY.md.  Everything except
         the explicitly wall-clock-marked gauges is a deterministic
-        function of the arguments.
+        function of the arguments -- and is identical for any ``workers``
+        value, because the series are replayed in replicate order.
+    workers:
+        Worker processes for the replicate fan-out.  ``None`` consults
+        the ``REPRO_WORKERS`` environment variable (default 1, serial);
+        ``0`` means all available CPUs.  Results are bitwise identical
+        for every setting (docs/PERFORMANCE.md).
     """
     if replicates < 2:
         raise SimulationError("need at least two replicates for a standard error")
     if events <= 0:
         raise SimulationError("need a positive number of events per replicate")
-    sites = site_names(n_sites)
     if callable(protocol):
-        factory = protocol
         name = getattr(protocol, "name", getattr(protocol, "__name__", "custom"))
     else:
         name = protocol
-        factory = lambda s: make_protocol(name, s)  # noqa: E731
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and callable(protocol):
+        try:
+            pickle.dumps(protocol)
+        except Exception as exc:
+            raise SimulationError(
+                f"protocol factory {name!r} is not picklable; parallel "
+                "replicates need a registry name or a module-level factory"
+            ) from exc
     registry = metrics if metrics is not None else NULL_REGISTRY
     mc = registry.scope("mc")
     stopwatch = Stopwatch() if registry.enabled else None
-    streams = RandomStreams(seed)
-    rates = Rates.from_ratio(ratio)
-    estimates = []
-    for index in range(replicates):
-        rng = streams.stream(f"replicate:{index}:{name}:{n_sites}:{ratio}")
-        system = StochasticReplicaSystem(factory(sites), rates, rng)
-        system.run(burn_in_events)
-        accumulator = AvailabilityAccumulator(system)
-        estimates.append(accumulator.run(events))
-        if registry.enabled:
+    tasks = [
+        _ReplicateTask(
+            protocol=protocol if callable(protocol) else name,
+            stream_name=f"replicate:{index}:{name}:{n_sites}:{ratio}",
+            n_sites=n_sites,
+            ratio=ratio,
+            events=events,
+            burn_in_events=burn_in_events,
+            seed=seed,
+        )
+        for index in range(replicates)
+    ]
+    outcomes = make_executor(worker_count).map(_run_replicate, tasks)
+    estimates = [outcome.estimate for outcome in outcomes]
+    if registry.enabled:
+        # Replay the per-replicate series in replicate order: the
+        # deterministic snapshot must not depend on worker scheduling.
+        running: list[float] = []
+        for outcome in outcomes:
+            running.append(outcome.estimate)
             mc.counter("replicates").inc()
             mc.counter("events").inc(events + burn_in_events)
-            mc.histogram("replicate.estimate").observe(estimates[-1])
-            for kind, count in sorted(system.event_counts.items()):
+            mc.histogram("replicate.estimate").observe(outcome.estimate)
+            for kind, count in outcome.event_counts:
                 registry.counter(f"sim.event.{kind}").inc(count)
-            registry.counter("sim.updates.accepted").inc(system.updates_accepted)
-            registry.counter("sim.updates.denied").inc(system.updates_denied)
-            if len(estimates) >= 2:
-                running = statistics.stdev(estimates) / math.sqrt(len(estimates))
-                mc.gauge("ci.half_width").set(1.96 * running)
+            registry.counter("sim.updates.accepted").inc(outcome.updates_accepted)
+            registry.counter("sim.updates.denied").inc(outcome.updates_denied)
+            if len(running) >= 2:
+                half = statistics.stdev(running) / math.sqrt(len(running))
+                mc.gauge("ci.half_width").set(1.96 * half)
     mean = statistics.fmean(estimates)
     stderr = statistics.stdev(estimates) / math.sqrt(replicates)
     if registry.enabled:
         mc.gauge("mean").set(mean)
         mc.gauge("stderr").set(stderr)
+        # Worker count and speedup are wall-clock-marked: they describe
+        # the machine the run landed on (REPRO_WORKERS, CPU count), not
+        # the experiment, so they stay out of deterministic snapshots.
+        mc.gauge("workers", wall_clock=True).set(worker_count)
         assert stopwatch is not None
         elapsed = stopwatch.seconds
         mc.gauge("wall_time_s", wall_clock=True).set(elapsed)
         if elapsed > 0:
             total = replicates * (events + burn_in_events)
             mc.gauge("events_per_sec", wall_clock=True).set(total / elapsed)
+            busy = sum(outcome.task_seconds for outcome in outcomes)
+            mc.gauge("parallel.speedup", wall_clock=True).set(busy / elapsed)
     return MonteCarloResult(
         protocol=str(name),
         n_sites=n_sites,

@@ -1,0 +1,90 @@
+"""The analysis layer must ride the batched grid solver (ISSUE 5).
+
+``figure3_series(20)`` used to issue 20 per-point linear solves per
+chain-based curve; with the batched router it must issue exactly one
+stacked solve per chain protocol (or one Horner sweep when the symbolic
+solution is already cached) -- asserted here via the ``markov.solve.*``
+counters rather than by timing.
+"""
+
+import pytest
+
+from repro.analysis import figure3_series, figure4_series, numeric_crossover
+from repro.markov import availability_symbolic, clear_symbolic_cache
+from repro.markov.availability import _chain
+from repro.obs.metrics import MetricsRegistry, use
+
+#: figure protocols minus voting, which has a closed form and never solves.
+CHAIN_CURVES = ("dynamic", "dynamic-linear", "hybrid")
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_symbolic_cache()
+    _chain.cache_clear()
+    yield
+    clear_symbolic_cache()
+
+
+def _solve_counters(registry):
+    return {
+        key: value
+        for key, value in registry.snapshot().items()
+        if key.startswith("markov.solve") and value["type"] == "counter"
+    }
+
+
+class TestFigureRouting:
+    def test_figure3_one_batched_solve_per_chain_protocol(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            figure3_series(20)
+        counters = _solve_counters(registry)
+        assert counters["markov.solve.batched"]["value"] == len(CHAIN_CURVES)
+        assert "markov.solve.numeric" not in counters
+        assert registry.snapshot()["markov.solve.grid_size"]["sum"] == 20 * len(
+            CHAIN_CURVES
+        )
+
+    def test_figure4_batched_as_well(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            figure4_series(17)
+        counters = _solve_counters(registry)
+        assert counters["markov.solve.batched"]["value"] == len(CHAIN_CURVES)
+        assert "markov.solve.numeric" not in counters
+
+    def test_figure3_rides_horner_when_symbolic_cached(self):
+        for protocol in CHAIN_CURVES:
+            availability_symbolic(protocol, 5)
+        registry = MetricsRegistry()
+        with use(registry):
+            figure3_series(20)
+        counters = _solve_counters(registry)
+        assert counters["markov.solve.horner"]["value"] == len(CHAIN_CURVES)
+        assert "markov.solve.batched" not in counters
+
+    def test_figure_values_unchanged_by_routing(self):
+        # The batched figure must be bit-compatible with the per-point
+        # route: same solver, same arithmetic, merely stacked.
+        from repro.markov import availability, up_probability
+
+        series = figure3_series(20)
+        for protocol in CHAIN_CURVES:
+            for ratio, value in zip(series.ratios, series.curve(protocol)):
+                expected = availability(protocol, 5, ratio) / up_probability(ratio)
+                assert abs(value - expected) <= 1e-12
+
+
+class TestCrossoverRouting:
+    def test_numeric_crossover_scan_is_batched(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            root = numeric_crossover("hybrid", "dynamic-linear", 5)
+        assert abs(root - 0.63) <= 0.011
+        counters = _solve_counters(registry)
+        assert counters["markov.solve.batched"]["value"] == 2
+        # Brent refinement still evaluates per point, but only around the
+        # bracket -- far fewer than the 201-point scan.
+        numeric = counters.get("markov.solve.numeric", {"value": 0})["value"]
+        assert numeric < 100

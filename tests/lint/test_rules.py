@@ -144,6 +144,69 @@ class TestRep002NoWallClock:
         )
         assert rules_of(result) == ["REP002"]
 
+    def test_concurrent_futures_import_flagged_anywhere(self, lint_snippet):
+        # Parallelism is scheduling nondeterminism: package-wide ban,
+        # even in directories outside the replayable set.
+        result = lint_snippet(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "REP002",
+            rel="repro/analysis/parallel_tables.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_multiprocessing_import_flagged(self, lint_snippet):
+        result = lint_snippet(
+            "import multiprocessing\n",
+            "REP002",
+            rel="repro/sim/pool.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_cpu_count_probe_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import os
+
+            def guess_workers():
+                return os.cpu_count()
+            """,
+            "REP002",
+            rel="repro/sim/pool.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_cpu_count_from_import_flagged(self, lint_snippet):
+        result = lint_snippet(
+            "from os import process_cpu_count\n",
+            "REP002",
+            rel="repro/markov/pool.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
+    def test_perf_executor_module_is_exempt(self, lint_snippet):
+        # The executor module is the single sanctioned parallelism site,
+        # mirroring the obs/clock.py wall-clock exemption.
+        result = lint_snippet(
+            """
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            def available_cpus():
+                return os.cpu_count() or 1
+            """,
+            "REP002",
+            rel="repro/perf/executor.py",
+        )
+        assert result.new == []
+
+    def test_perf_outside_executor_module_flagged(self, lint_snippet):
+        result = lint_snippet(
+            "import concurrent.futures\n",
+            "REP002",
+            rel="repro/perf/other.py",
+        )
+        assert rules_of(result) == ["REP002"]
+
 
 class TestRep003NoFloatEquality:
     def test_float_literal_equality_flagged(self, lint_snippet):

@@ -1,0 +1,133 @@
+"""Batched grid solves and the symbolic Horner fast path.
+
+The docs/PERFORMANCE.md contract: every grid entry point agrees with the
+per-point reference to near machine precision, and the metric counters
+prove which code path ran (one batched stacked solve -- or one Horner
+sweep -- per protocol, never one linear solve per grid point).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError, ChainError
+from repro.markov import (
+    ANALYTIC_PROTOCOLS,
+    availability,
+    availability_exact,
+    availability_grid,
+    availability_symbolic,
+    chain_for,
+    clear_symbolic_cache,
+    symbolic_cached,
+)
+from repro.obs.metrics import MetricsRegistry, use
+
+GRID = [0.1 * i for i in range(1, 41)]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_symbolic_cache():
+    clear_symbolic_cache()
+    yield
+    clear_symbolic_cache()
+
+
+class TestChainGrid:
+    @pytest.mark.parametrize("protocol", ["dynamic", "dynamic-linear", "hybrid"])
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_batched_matches_per_point(self, protocol, n):
+        chain = chain_for(protocol, n)
+        batched = chain.availability_grid(GRID)
+        for ratio, value in zip(GRID, batched):
+            assert abs(float(value) - chain.availability(ratio)) <= 1e-12
+
+    def test_steady_state_grid_rows_are_distributions(self):
+        chain = chain_for("hybrid", 5)
+        distributions = chain.steady_state_grid([0.5, 1.0, 2.0])
+        assert distributions.shape == (3, chain.size)
+        for row in distributions:
+            assert abs(float(row.sum()) - 1.0) <= 1e-12
+            assert float(row.min()) >= -1e-15
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ChainError):
+            chain_for("hybrid", 3).availability_grid([])
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ChainError):
+            chain_for("hybrid", 3).availability_grid([1.0, 0.0])
+        with pytest.raises(ChainError):
+            chain_for("hybrid", 3).steady_state_grid([-1.0])
+
+    def test_batched_solve_metrics(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            chain_for("dynamic", 5).availability_grid(GRID)
+        snapshot = registry.snapshot()
+        assert snapshot["markov.solve.batched"]["value"] == 1
+        assert snapshot["markov.solve.grid_size"]["count"] == 1
+        assert snapshot["markov.solve.grid_size"]["sum"] == len(GRID)
+
+
+class TestUnifiedGrid:
+    @pytest.mark.parametrize("protocol", ANALYTIC_PROTOCOLS)
+    def test_grid_matches_per_point(self, protocol):
+        values = availability_grid(protocol, 5, GRID, prefer_symbolic=False)
+        for ratio, value in zip(GRID, values):
+            assert abs(value - availability(protocol, 5, ratio)) <= 1e-12
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            availability_grid("voting", 3, [])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(AnalysisError):
+            availability_grid("quorum-of-one", 3, [1.0])
+
+    def test_horner_fast_path_matches_numeric(self):
+        availability_symbolic("hybrid", 5)  # populate the cache
+        assert symbolic_cached("hybrid", 5)
+        horner = availability_grid("hybrid", 5, GRID, prefer_symbolic=True)
+        numeric = availability_grid("hybrid", 5, GRID, prefer_symbolic=False)
+        for a, b in zip(horner, numeric):
+            assert abs(a - b) <= 1e-9
+
+    def test_horner_records_counter_not_batched(self):
+        availability_symbolic("dynamic", 4)
+        registry = MetricsRegistry()
+        with use(registry):
+            availability_grid("dynamic", 4, GRID, prefer_symbolic=True)
+        snapshot = registry.snapshot()
+        assert snapshot["markov.solve.horner"]["value"] == 1
+        assert "markov.solve.batched" not in snapshot
+        assert snapshot["markov.solve.grid_size"]["sum"] == len(GRID)
+
+    def test_cold_cache_prefers_batched_over_symbolic_solve(self):
+        # prefer_symbolic must never trigger an expensive symbolic solve.
+        assert not symbolic_cached("hybrid", 5)
+        registry = MetricsRegistry()
+        with use(registry):
+            availability_grid("hybrid", 5, [0.5, 1.0], prefer_symbolic=True)
+        assert registry.snapshot()["markov.solve.batched"]["value"] == 1
+        assert not symbolic_cached("hybrid", 5)
+
+
+class TestFloatClosedForms:
+    @pytest.mark.parametrize(
+        "protocol", ["voting", "primary-site-voting", "primary-copy"]
+    )
+    @pytest.mark.parametrize("n", [3, 4, 5, 7])
+    def test_float_form_matches_exact(self, protocol, n):
+        for ratio in (Fraction(1, 10), Fraction(1), Fraction(5, 2), Fraction(20)):
+            exact = float(availability_exact(protocol, n, ratio))
+            fast = availability(protocol, n, float(ratio))
+            assert abs(fast - exact) <= 1e-12
+
+    def test_closed_form_grid_issues_no_solves(self):
+        registry = MetricsRegistry()
+        with use(registry):
+            values = availability_grid("voting", 5, GRID)
+        assert len(values) == len(GRID)
+        solves = [k for k in registry.snapshot() if k.startswith("markov.solve")]
+        assert solves == []

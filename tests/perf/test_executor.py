@@ -1,0 +1,89 @@
+"""Unit tests for the deterministic task executors (docs/PERFORMANCE.md)."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf import (
+    ENV_WORKERS,
+    ProcessExecutor,
+    SerialExecutor,
+    available_cpus,
+    make_executor,
+    resolve_workers,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_explicit_count_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "4")
+        assert resolve_workers() == 4
+
+    def test_zero_means_all_cpus(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers(0) == available_cpus()
+
+    def test_env_auto_means_all_cpus(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "auto")
+        assert resolve_workers() == available_cpus()
+
+    def test_env_blank_is_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "   ")
+        assert resolve_workers() == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(PerfError):
+            resolve_workers(-1)
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "many")
+        with pytest.raises(PerfError):
+            resolve_workers()
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestExecutors:
+    def test_serial_map_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_map_matches_serial(self):
+        tasks = list(range(17))
+        serial = SerialExecutor().map(_square, tasks)
+        parallel = ProcessExecutor(2).map(_square, tasks)
+        assert parallel == serial
+
+    def test_process_executor_rejects_single_worker(self):
+        with pytest.raises(PerfError):
+            ProcessExecutor(1)
+
+    def test_process_map_single_task_runs_inline(self):
+        # A one-item map must not pay for a pool.
+        assert ProcessExecutor(4).map(_square, [5]) == [25]
+
+    def test_make_executor_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_make_executor_parallel(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers == 3
+
+    def test_make_executor_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "2")
+        assert isinstance(make_executor(), ProcessExecutor)

@@ -57,3 +57,75 @@ class TestEstimator:
     def test_nonpositive_events_rejected(self):
         with pytest.raises(SimulationError):
             estimate_availability("voting", 3, 1.0, replicates=2, events=0)
+
+
+def _hybrid_factory(sites):
+    """Module-level (hence picklable) protocol factory for the pool tests."""
+    from repro.core import HybridProtocol
+
+    return HybridProtocol(sites)
+
+
+class TestParallelReplicates:
+    """The docs/PERFORMANCE.md contract: workers never change results."""
+
+    KWARGS = dict(replicates=4, events=2_000, seed=2026)
+
+    def test_parallel_bitwise_equals_serial(self):
+        serial = estimate_availability("hybrid", 5, 1.0, **self.KWARGS, workers=1)
+        parallel = estimate_availability("hybrid", 5, 1.0, **self.KWARGS, workers=2)
+        assert parallel == serial  # bitwise: frozen dataclass of floats
+
+    def test_parallel_metrics_snapshot_equals_serial(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        snapshots = []
+        for workers in (1, 2):
+            registry = MetricsRegistry()
+            estimate_availability(
+                "dynamic", 4, 1.0, **self.KWARGS, metrics=registry, workers=workers
+            )
+            snapshots.append(registry.snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    def test_workers_gauge_is_wall_clock_only(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        estimate_availability(
+            "voting", 3, 1.0, **self.KWARGS, metrics=registry, workers=2
+        )
+        assert "mc.workers" not in registry.snapshot()
+        wall = registry.wall_clock_snapshot()
+        assert wall["mc.workers"]["value"] == 2
+        assert "mc.parallel.speedup" in wall
+
+    def test_env_variable_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        from_env = estimate_availability("voting", 3, 1.0, **self.KWARGS)
+        monkeypatch.delenv("REPRO_WORKERS")
+        serial = estimate_availability("voting", 3, 1.0, **self.KWARGS)
+        assert from_env == serial
+
+    def test_picklable_factory_parallel(self):
+        serial = estimate_availability(
+            _hybrid_factory, 4, 1.0, **self.KWARGS, workers=1
+        )
+        parallel = estimate_availability(
+            _hybrid_factory, 4, 1.0, **self.KWARGS, workers=2
+        )
+        assert parallel == serial
+
+    def test_unpicklable_factory_rejected_up_front(self):
+        from repro.core import HybridProtocol
+
+        factory = lambda sites: HybridProtocol(sites)  # noqa: E731
+        with pytest.raises(SimulationError, match="picklable"):
+            estimate_availability(factory, 3, 1.0, **self.KWARGS, workers=2)
+
+    def test_unpicklable_factory_fine_when_serial(self):
+        from repro.core import HybridProtocol
+
+        factory = lambda sites: HybridProtocol(sites)  # noqa: E731
+        result = estimate_availability(factory, 3, 1.0, **self.KWARGS, workers=1)
+        assert 0.0 < result.mean < 1.0
