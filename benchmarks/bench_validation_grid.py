@@ -7,11 +7,16 @@ per protocol at n = 5) comparing two genuinely independent solvers: the
 float path (numpy linear algebra) against the exact path (Fraction
 Gaussian elimination), and additionally re-verify the Theorem 3 ordering
 at every grid point.
+
+The vectorized Monte-Carlo backend extends the cross-check to cluster
+sizes the scalar engine cannot sweep in CI time: at n = 7 and n = 9 the
+*protocol implementations themselves* (run through the numpy kernels)
+are pitted against the analytic chains.
 """
 
 from fractions import Fraction
 
-from repro.analysis import grid_agreement, paper_grid
+from repro.analysis import grid_agreement, montecarlo_agreement, paper_grid
 from repro.markov import availability_exact
 
 
@@ -34,6 +39,43 @@ def test_validation_grid(benchmark):
         assert result.ok(1e-9), name
     total = sum(r.points for r in results.values())
     assert total == 800  # 4 protocols x 200 grid points
+
+
+def test_vectorized_montecarlo_validation_at_large_n(benchmark):
+    """The protocol code agrees with the chains beyond the scalar range.
+
+    ``montecarlo_agreement`` raises on any >4-sigma deviation, so simply
+    completing is the assertion; the vectorized backend makes n = 9
+    affordable where the scalar oracle would dominate the CI budget.
+    """
+
+    def sweep():
+        reports = []
+        for protocol, n, ratio in (
+            ("hybrid", 7, 1.0),
+            ("dynamic-linear", 7, 2.0),
+            ("dynamic", 9, 1.0),
+            ("hybrid", 9, 0.5),
+        ):
+            reports.append(
+                montecarlo_agreement(
+                    protocol, n, ratio,
+                    replicates=16, events=6_000, seed=2026,
+                    backend="vectorized",
+                )
+            )
+        return reports
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for report in reports:
+        print(
+            f"  {report['protocol']:15s} n={report['n_sites']} "
+            f"ratio={report['ratio']:.1f}: analytic={report['analytic']:.4f} "
+            f"mc={report['montecarlo']:.4f} +/- {report['stderr']:.4f}"
+        )
+    assert len(reports) == 4
+    assert all(report["backend"] == "vectorized" for report in reports)
 
 
 def test_theorem3_ordering_on_the_grid(benchmark):

@@ -101,6 +101,7 @@ def montecarlo_agreement(
     seed: int = 2026,
     metrics: MetricsRegistry | None = None,
     workers: int | None = None,
+    backend: str = "scalar",
 ) -> dict:
     """Check the analytic availability sits inside the Monte-Carlo band.
 
@@ -108,14 +109,18 @@ def montecarlo_agreement(
     value falls outside a ~4-sigma confidence interval (which, given the
     chain derivations are exact, indicates a protocol/chain mismatch, not
     noise).  ``metrics`` is forwarded to the Monte-Carlo estimator (the
-    ``mc.*`` / ``sim.*`` series of docs/OBSERVABILITY.md), as is
+    ``mc.*`` / ``sim.*`` series of docs/OBSERVABILITY.md), as are
     ``workers`` (parallel replicates are bitwise identical to serial,
-    docs/PERFORMANCE.md).
+    docs/PERFORMANCE.md) and ``backend`` (``"scalar"`` or
+    ``"vectorized"``, docs/PERFORMANCE.md "Backends" -- with the
+    vectorized backend this check pits three independent computations
+    against each other: the chain, the scalar oracle's law, and the
+    batched numpy kernels).
     """
     analytic = availability(protocol, n, ratio)
     result = estimate_availability(
         protocol, n, ratio, replicates=replicates, events=events, seed=seed,
-        metrics=metrics, workers=workers,
+        metrics=metrics, workers=workers, backend=backend,
     )
     if not result.agrees_with(analytic):
         low, high = result.confidence_interval(3.89)
@@ -128,6 +133,7 @@ def montecarlo_agreement(
         "protocol": protocol,
         "n_sites": n,
         "ratio": ratio,
+        "backend": backend,
         "analytic": analytic,
         "montecarlo": result.mean,
         "stderr": result.stderr,

@@ -8,6 +8,7 @@ Subcommands map to the experiment index of DESIGN.md::
     repro chain --protocol hybrid -n 5  # E2: state diagram dump
     repro compare -n 5 -r 0.5 1 2 5   # availability matrix
     repro simulate --protocol hybrid -n 5 -r 1.0  # E9: MC vs analytic
+    repro simulate --backend vectorized -n 9      # batched numpy backend
     repro crossover --first hybrid --second dynamic -n 5
     repro lint src/repro                # replint static analysis
     repro trace --protocol hybrid -n 3  # message-level protocol trace
@@ -112,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the Monte-Carlo replicates "
              "(0 = all CPUs; default: REPRO_WORKERS or 1; results are "
              "bitwise identical at any setting, docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--backend", choices=("scalar", "vectorized"), default="scalar",
+        help="Monte-Carlo backend: the scalar reference oracle or the "
+             "structure-of-arrays numpy backend (docs/PERFORMANCE.md, "
+             "'Backends')",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=None,
+        help="replicates per vectorized batch (default 256; affects "
+             "memory and throughput only, never results)",
     )
     p.add_argument("--metrics", action="store_true",
                    help="print the metric registry after the run")
@@ -305,6 +317,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 seed=args.seed,
                 metrics=registry,
                 workers=args.workers,
+                backend=args.backend,
+                batch_size=args.batch_size,
             )
         low, high = result.confidence_interval()
         print(
@@ -328,6 +342,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "events": args.events,
                     "replicates": args.replicates,
                     "workers": args.workers,
+                    "backend": args.backend,
                     "analytic": analytic,
                     "mean": result.mean,
                     "stderr": result.stderr,

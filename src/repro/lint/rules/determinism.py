@@ -17,6 +17,13 @@ from ..registry import FileContext, FileRule, register
 #: The only module allowed to touch the stdlib/NumPy RNGs directly.
 RNG_MODULE = "sim/rng.py"
 
+#: The single additional sanctioned RNG site: the vectorized Monte-Carlo
+#: backend constructs ``numpy.random.Generator`` objects over Philox
+#: streams keyed by :func:`repro.sim.rng.derive_seed` -- the same keying
+#: discipline as RNG_MODULE, batched.  Exempt by module, like the clock
+#: and executor carve-outs, so the rule stays unsuppressible elsewhere.
+VECTORIZED_MODULE = "sim/vectorized.py"
+
 #: Directories whose code must never read the wall clock.
 REPLAYABLE_DIRS = ("sim", "netsim", "markov", "obs", "perf")
 
@@ -42,8 +49,9 @@ class NoDirectRandom(FileRule):
     name = "no-direct-random"
     severity = Severity.ERROR
     description = (
-        "direct use of `random` or `numpy.random` outside sim/rng.py; "
-        "draw from a named RandomStreams substream instead"
+        "direct use of `random` or `numpy.random` outside sim/rng.py and "
+        "sim/vectorized.py; draw from a named RandomStreams substream (or "
+        "a derive_seed-keyed Generator in the vectorized backend) instead"
     )
     rationale = (
         "Deterministic replay (DESIGN.md, common-random-numbers hygiene): "
@@ -52,7 +60,7 @@ class NoDirectRandom(FileRule):
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        if ctx.is_file(RNG_MODULE):
+        if ctx.is_file(RNG_MODULE) or ctx.is_file(VECTORIZED_MODULE):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):

@@ -5,7 +5,10 @@
 * :class:`Rates` / :class:`FailureRepairSampler` -- Poisson failure model.
 * :class:`StochasticReplicaSystem` / :class:`AvailabilityAccumulator` --
   the Section VI model driving real protocol objects.
-* :func:`estimate_availability` -- Monte-Carlo availability with error bars.
+* :func:`estimate_availability` -- Monte-Carlo availability with error bars,
+  over the scalar oracle or the vectorized structure-of-arrays backend.
+* :class:`VectorizedReplicaBatch` / :func:`simulate_batch` -- the batched
+  numpy backend itself (:mod:`repro.sim.vectorized`).
 * :class:`PartitionScenario` / :func:`figure1_scenario` -- scripted
   partition-graph replay (Fig. 1).
 * :class:`RandomStreams` -- reproducible named randomness.
@@ -15,7 +18,12 @@ from .engine import EventHandle, Simulator
 from .events import Event, EventKind
 from .failures import FailureRepairSampler, PerSiteRates, Rates
 from .model import AvailabilityAccumulator, StochasticReplicaSystem
-from .montecarlo import MonteCarloResult, estimate_availability
+from .montecarlo import (
+    BACKENDS,
+    MonteCarloResult,
+    RunningCI,
+    estimate_availability,
+)
 from .rng import RandomStreams, derive_seed
 from .scenario import (
     FIGURE1_SITES,
@@ -29,6 +37,12 @@ from .scenario import (
     paper_protocols,
 )
 from .topology import Topology
+from .vectorized import (
+    BatchOutcome,
+    VectorizedReplicaBatch,
+    simulate_batch,
+    supported_protocols,
+)
 
 __all__ = [
     "Simulator",
@@ -41,7 +55,13 @@ __all__ = [
     "StochasticReplicaSystem",
     "AvailabilityAccumulator",
     "MonteCarloResult",
+    "RunningCI",
+    "BACKENDS",
     "estimate_availability",
+    "BatchOutcome",
+    "VectorizedReplicaBatch",
+    "simulate_batch",
+    "supported_protocols",
     "RandomStreams",
     "derive_seed",
     "Topology",

@@ -9,6 +9,12 @@ event classes alive at a time) but shares the same clock discipline.
 
 Determinism: ties in time break by schedule order (the monotone sequence
 number), so a seeded run replays identically.
+
+Cancellation is lazy -- a cancelled entry stays in the heap until popped --
+but bounded: the simulator counts cancelled entries, answers
+:meth:`Simulator.pending` from that count in O(1), and compacts the heap
+once cancelled entries dominate, so a workload that cancels most of what
+it schedules (timeout patterns) cannot grow the queue without bound.
 """
 
 from __future__ import annotations
@@ -22,6 +28,10 @@ from ..errors import ScheduleError
 
 __all__ = ["Simulator", "EventHandle"]
 
+#: Compact only past this many cancelled entries: tiny queues never pay
+#: the rebuild, however thoroughly they cancel.
+_COMPACT_MIN_CANCELLED = 64
+
 
 @dataclass(order=True)
 class _Entry:
@@ -34,10 +44,11 @@ class _Entry:
 class EventHandle:
     """Handle to a scheduled action; supports cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_simulator")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, simulator: Simulator) -> None:
         self._entry = entry
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -51,7 +62,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the action from running (idempotent)."""
-        self._entry.cancelled = True
+        if not self._entry.cancelled:
+            self._entry.cancelled = True
+            self._simulator._note_cancelled()
 
 
 class Simulator:
@@ -62,6 +75,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -87,13 +101,14 @@ class Simulator:
             )
         entry = _Entry(time, next(self._sequence), action)
         heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def step(self) -> bool:
         """Process the next pending action; False when the queue is empty."""
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             self._events_processed += 1
@@ -118,6 +133,7 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
                 continue
             if until is not None and head.time > until:
                 self._now = until
@@ -128,5 +144,25 @@ class Simulator:
             self._now = until
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) scheduled actions."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        """Number of live (non-cancelled) scheduled actions.  O(1)."""
+        return len(self._queue) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """Account for one newly cancelled entry; compact when they win."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and 2 * self._cancelled > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in O(live).
+
+        Safe because entries are totally ordered by ``(time, sequence)``:
+        heapify of the filtered list restores the exact pop order the lazy
+        heap would have produced.
+        """
+        self._queue = [entry for entry in self._queue if not entry.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0

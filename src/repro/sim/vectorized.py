@@ -1,0 +1,681 @@
+"""Structure-of-arrays Monte-Carlo backend: all replicates advance per step.
+
+The scalar :class:`~repro.sim.model.StochasticReplicaSystem` processes one
+event at a time through Python objects; it is the *reference oracle*, but
+its per-event cost caps ``mc.events``/sec.  Under the Section VI-B
+assumptions (independent exponential failure/repair clocks, an update after
+every event) an entire batch of replicates can instead be advanced with a
+handful of numpy operations per event step:
+
+* **State** is a structure of arrays over a batch of R replicates and n
+  sites: ``up`` (R, n) bool, per-site ``vn``/``sc`` (R, n) ints and a
+  ``ds`` (R, n) uint64 *bitmask* of the distinguished-sites entry (bit i =
+  site i in canonical order).  Theorem 1 guarantees all copies at the same
+  version share SC/DS, so per-site storage reproduces the scalar metadata
+  exactly.
+* **Events** are sampled by competing exponentials, vectorized: the next
+  event in replicate r arrives after ``Exp(sum of per-site rates)`` and
+  strikes a site chosen proportionally to its rate -- a row-wise cumulative
+  sum against one uniform draw, exactly the race
+  :class:`~repro.sim.failures.FailureRepairSampler` runs per replicate.
+* **Decisions** (``Is_Distinguished``) reduce to integer comparisons on
+  row summaries -- ``M`` (masked version max), ``|I|`` (current-copy
+  count), ``SC``/``DS`` read at the argmax site -- and ``Do_Update``
+  installs the new metadata at all up sites with masked writes.  One
+  :class:`_Kernel` per registered protocol encodes the paper's predicates
+  as boolean array expressions.
+* **Availability** accumulates time-weighted ``(k/n) * 1[distinguished]``
+  with batched multiply-adds, mirroring
+  :class:`~repro.sim.model.AvailabilityAccumulator`.
+
+Randomness: replicate *i* draws from its own ``numpy.random.Generator``
+over a Philox counter stream keyed by SHA-256 of ``(seed, stream name)``
+via :func:`~repro.sim.rng.derive_seed` -- the same keying discipline as the
+scalar backend, under a distinct ``vector:`` namespace.  A replicate's
+trajectory is therefore a pure function of ``(seed, stream name)``: bitwise
+identical for every batch size and worker count.  This module is,
+alongside ``sim/rng.py``, the only sanctioned RNG construction site
+(replint REP001/REP002, docs/LINTING.md).
+
+The backend is *statistically* -- not bitwise -- equivalent to the scalar
+oracle (different generators, same law); ``tests/sim/test_vectorized.py``
+holds a stronger per-event parity contract through
+:meth:`VectorizedReplicaBatch.force_events`, which replays identical event
+sequences through both implementations and compares full metadata state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.base import ReplicaControlProtocol
+from ..core.dynamic_linear import DynamicLinearProtocol
+from ..core.dynamic_voting import DynamicVotingProtocol
+from ..core.generalized import GeneralizedHybridProtocol
+from ..core.hybrid import HybridProtocol
+from ..core.registry import make_protocol
+from ..core.static_voting import (
+    MajorityVotingProtocol,
+    PrimaryCopyProtocol,
+    PrimarySiteVotingProtocol,
+)
+from ..core.variants import ModifiedHybridProtocol, OptimalCandidateProtocol
+from ..errors import SimulationError
+from ..types import site_names
+from .failures import Rates
+from .rng import derive_seed
+
+__all__ = [
+    "MAX_SITES",
+    "BatchOutcome",
+    "VectorizedReplicaBatch",
+    "ensure_supported",
+    "simulate_batch",
+    "supported_protocols",
+]
+
+#: The distinguished-sites entry is a uint64 bitmask, so one bit per site.
+MAX_SITES = 63
+
+#: Pre-drawn uniforms per chunk are capped at this many floats per batch,
+#: so memory stays bounded however large the batch is.  Chunk boundaries
+#: cannot change results: each replicate's generator is consumed strictly
+#: sequentially, so splitting draws differently yields the same stream.
+_CHUNK_BUDGET = 1 << 20
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount(masks: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array."""
+        return np.bitwise_count(masks)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    def _popcount(masks: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array."""
+        counts = np.zeros(masks.shape, dtype=np.int64)
+        work = masks.copy()
+        while work.any():
+            counts += (work & np.uint64(1)).astype(np.int64)
+            work >>= np.uint64(1)
+        return counts
+
+
+class _StepView:
+    """Row summaries of one batched event step, shared by the kernels.
+
+    The always-needed quantities (``k``, the masked version max ``M``, the
+    current set ``I`` and the metadata ``card``/``dsm`` read at the argmax
+    site) are computed eagerly; bit-level derivatives are memoised lazily
+    because only some kernels consult them.
+    """
+
+    __slots__ = (
+        "up", "k", "M", "i_mask", "i_count", "card", "dsm", "bitvals",
+        "n", "event_site", "event_was_failure",
+        "_p_bits", "_i_bits", "_greatest_up_bit", "_greatest_down_bit",
+    )
+
+    def __init__(
+        self,
+        up: np.ndarray,
+        vn: np.ndarray,
+        sc: np.ndarray,
+        ds: np.ndarray,
+        bitvals: np.ndarray,
+        event_site: np.ndarray,
+        event_was_failure: np.ndarray,
+    ) -> None:
+        rows = np.arange(up.shape[0])
+        self.up = up
+        self.n = up.shape[1]
+        self.k = up.sum(axis=1)
+        masked = np.where(up, vn, -1)
+        idx = masked.argmax(axis=1)
+        self.M = masked[rows, idx]
+        self.i_mask = up & (vn == self.M[:, None])
+        self.i_count = self.i_mask.sum(axis=1)
+        self.card = sc[rows, idx]
+        self.dsm = ds[rows, idx]
+        self.bitvals = bitvals
+        self.event_site = event_site
+        self.event_was_failure = event_was_failure
+        self._p_bits = None
+        self._i_bits = None
+        self._greatest_up_bit = None
+        self._greatest_down_bit = None
+
+    @property
+    def p_bits(self) -> np.ndarray:
+        """Bitmask of the partition (the up sites) per replicate."""
+        if self._p_bits is None:
+            self._p_bits = np.where(self.up, self.bitvals, 0).sum(axis=1)
+        return self._p_bits
+
+    @property
+    def i_bits(self) -> np.ndarray:
+        """Bitmask of the current copies *I* per replicate."""
+        if self._i_bits is None:
+            self._i_bits = np.where(self.i_mask, self.bitvals, 0).sum(axis=1)
+        return self._i_bits
+
+    @property
+    def greatest_up_bit(self) -> np.ndarray:
+        """Bit of the greatest up site (canonical order; junk when k=0)."""
+        if self._greatest_up_bit is None:
+            idx = self.n - 1 - np.argmax(self.up[:, ::-1], axis=1)
+            self._greatest_up_bit = self.bitvals[idx]
+        return self._greatest_up_bit
+
+    @property
+    def greatest_down_bit(self) -> np.ndarray:
+        """Bit of the greatest down site (junk when all sites are up)."""
+        if self._greatest_down_bit is None:
+            idx = self.n - 1 - np.argmax(~self.up[:, ::-1], axis=1)
+            self._greatest_down_bit = self.bitvals[idx]
+        return self._greatest_down_bit
+
+
+class _Kernel:
+    """Vectorized ``Is_Distinguished`` / ``Do_Update`` of one protocol.
+
+    ``decide`` returns the per-replicate accept vector; ``commit`` returns
+    the ``(new_sc, new_ds)`` arrays an accepted update installs (values in
+    non-accepted rows are unused).  Kernels are pure functions of the step
+    view, mirroring the purity of the scalar decision procedures.
+    """
+
+    def __init__(self, protocol: ReplicaControlProtocol) -> None:
+        self.n = protocol.n_sites
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        raise NotImplementedError
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    # Shared rule fragments (the vectorized _dynamic_majority and the
+    # dynamic-linear tie-break, reused across the dynamic family).
+
+    @staticmethod
+    def _majority(v: _StepView) -> np.ndarray:
+        """card(I) > N/2 -- step 3 of ``Is_Distinguished``."""
+        return 2 * v.i_count > v.card
+
+    @staticmethod
+    def _linear_tie(v: _StepView) -> np.ndarray:
+        """card(I) = N/2 with the single distinguished site inside *I*."""
+        return (
+            (2 * v.i_count == v.card)
+            & (_popcount(v.dsm) == 1)
+            & ((v.dsm & v.i_bits) != 0)
+        )
+
+    @staticmethod
+    def _linear_ds(v: _StepView) -> np.ndarray:
+        """DS after a dynamic-linear style commit: greatest site iff even."""
+        return np.where(v.k % 2 == 0, v.greatest_up_bit, np.uint64(0))
+
+
+class _MajorityKernel(_Kernel):
+    """Static voting: one vote per site, strict majority to commit."""
+
+    def __init__(self, protocol: MajorityVotingProtocol) -> None:
+        super().__init__(protocol)
+        self._threshold = protocol.write_threshold
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        return v.k >= self._threshold
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        return np.full_like(v.k, self.n), np.zeros(len(v.k), dtype=np.uint64)
+
+
+class _PrimarySiteKernel(_Kernel):
+    """Majority voting with a primary site breaking exact ties."""
+
+    def __init__(self, protocol: PrimarySiteVotingProtocol) -> None:
+        super().__init__(protocol)
+        self._primary = sorted(protocol.sites).index(protocol.primary)
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        held = 2 * v.k
+        return (held > self.n) | ((held == self.n) & v.up[:, self._primary])
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        return np.full_like(v.k, self.n), np.zeros(len(v.k), dtype=np.uint64)
+
+
+class _PrimaryCopyKernel(_Kernel):
+    """Primary-copy: the primary's partition is distinguished."""
+
+    def __init__(self, protocol: PrimaryCopyProtocol) -> None:
+        super().__init__(protocol)
+        self._primary = sorted(protocol.sites).index(protocol.primary)
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        return v.up[:, self._primary].copy()
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        return np.full_like(v.k, self.n), np.zeros(len(v.k), dtype=np.uint64)
+
+
+class _DynamicKernel(_Kernel):
+    """The SIGMOD'87 dynamic voting rule: card(I) > N/2."""
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        return self._majority(v)
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        return v.k.astype(np.int64), np.zeros(len(v.k), dtype=np.uint64)
+
+
+class _DynamicLinearKernel(_Kernel):
+    """Dynamic voting with linearly ordered copies."""
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        return self._majority(v) | self._linear_tie(v)
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        return v.k.astype(np.int64), self._linear_ds(v)
+
+
+class _HybridKernel(_Kernel):
+    """The hybrid algorithm: dynamic-linear plus the three-site static phase."""
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        static = (
+            (v.card == 3)
+            & (_popcount(v.dsm) == 3)
+            & (_popcount(v.dsm & v.p_bits) >= 2)
+        )
+        return self._majority(v) | self._linear_tie(v) | static
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        # Do_Update's exception: a two-site update at cardinality 3 bumps
+        # only the version number (SC and the trio survive).
+        bump = (v.card == 3) & (v.k == 2)
+        base_ds = np.where(v.k == 3, v.p_bits, self._linear_ds(v))
+        new_sc = np.where(bump, v.card, v.k)
+        new_ds = np.where(bump, v.dsm, base_ds)
+        return new_sc, new_ds
+
+
+class _GeneralizedHybridKernel(_Kernel):
+    """The parametric hybrid family: a static phase of odd size *t*."""
+
+    def __init__(self, protocol: GeneralizedHybridProtocol) -> None:
+        super().__init__(protocol)
+        self._t = protocol.threshold
+        self._m = protocol.static_majority
+
+    def _static_phase(self, v: _StepView) -> np.ndarray:
+        return (v.card == self._t) & (_popcount(v.dsm) == self._t)
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        static = self._static_phase(v) & (
+            _popcount(v.dsm & v.p_bits) >= self._m
+        )
+        return self._majority(v) | self._linear_tie(v) | static
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        bump = self._static_phase(v) & (v.k == self._m)
+        base_ds = np.where(v.k == self._t, v.p_bits, self._linear_ds(v))
+        new_sc = np.where(bump, v.card, v.k)
+        new_ds = np.where(bump, v.dsm, base_ds)
+        return new_sc, new_ds
+
+
+class _ModifiedHybridKernel(_Kernel):
+    """Section VII's modified hybrid (Changes 1 and 2)."""
+
+    def __init__(self, protocol: ModifiedHybridProtocol) -> None:
+        super().__init__(protocol)
+        if self.n < 3:
+            raise SimulationError(
+                "the vectorized modified-hybrid kernel needs n >= 3 (a "
+                "two-site update must have a down site to name)"
+            )
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        big = self._majority(v) | self._linear_tie(v)
+        pair_tie = (
+            (2 * v.i_count == v.card)
+            & (_popcount(v.dsm) == 1)
+            & ((v.dsm & v.p_bits) != 0)
+        )
+        small = (v.i_count == v.card) | pair_tie
+        return np.where(v.card >= 3, big, small)
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        # A two-site commit names a down site: the site that most recently
+        # failed when the triggering event was a failure (it is down and
+        # outside the partition by construction), else the greatest site
+        # outside the partition -- exactly _choose_down_site.
+        pair = v.k == 2
+        named = np.where(
+            v.event_was_failure,
+            v.bitvals[v.event_site],
+            v.greatest_down_bit,
+        )
+        new_sc = np.where(pair, 2, v.k)
+        new_ds = np.where(pair, named, self._linear_ds(v))
+        return new_sc, new_ds
+
+
+class _OptimalCandidateKernel(_Kernel):
+    """Footnote 6's optimal candidate: global majority breaks pair ties."""
+
+    def decide(self, v: _StepView) -> np.ndarray:
+        big = self._majority(v) | self._linear_tie(v)
+        pair_tie = (2 * v.i_count == v.card) & (2 * v.k > self.n)
+        small = (v.i_count == v.card) | pair_tie
+        return np.where(v.card >= 3, big, small)
+
+    def commit(self, v: _StepView) -> tuple[np.ndarray, np.ndarray]:
+        # A two-site commit conceptually names all other sites; the decision
+        # rule never reads the entry, so DS stays empty (as in the scalar).
+        pair = v.k == 2
+        new_ds = np.where(pair, np.uint64(0), self._linear_ds(v))
+        return v.k.astype(np.int64), new_ds
+
+
+#: Exact-type dispatch: subclasses with different rules (primary-site
+#: voting under weighted voting, say) must not inherit a kernel silently.
+_KERNELS: dict[type, type[_Kernel]] = {
+    MajorityVotingProtocol: _MajorityKernel,
+    PrimarySiteVotingProtocol: _PrimarySiteKernel,
+    PrimaryCopyProtocol: _PrimaryCopyKernel,
+    DynamicVotingProtocol: _DynamicKernel,
+    DynamicLinearProtocol: _DynamicLinearKernel,
+    HybridProtocol: _HybridKernel,
+    GeneralizedHybridProtocol: _GeneralizedHybridKernel,
+    ModifiedHybridProtocol: _ModifiedHybridKernel,
+    OptimalCandidateProtocol: _OptimalCandidateKernel,
+}
+
+
+def supported_protocols() -> tuple[str, ...]:
+    """Registry names the vectorized backend can run."""
+    return tuple(cls.name for cls in _KERNELS)
+
+
+def _kernel_for(protocol: ReplicaControlProtocol) -> _Kernel:
+    """The kernel matching a protocol instance (exact type match)."""
+    kernel_cls = _KERNELS.get(type(protocol))
+    if kernel_cls is None:
+        known = ", ".join(sorted(supported_protocols()))
+        raise SimulationError(
+            f"no vectorized kernel for {type(protocol).__name__}; "
+            f"supported protocols: {known} (use backend='scalar')"
+        )
+    return kernel_cls(protocol)
+
+
+def ensure_supported(protocol: str, n_sites: int) -> None:
+    """Raise :class:`SimulationError` unless the backend can run this job.
+
+    Called by :func:`~repro.sim.montecarlo.estimate_availability` before
+    fanning batches out, so unsupported jobs fail in the parent process
+    with a clear message instead of inside a worker.
+    """
+    if n_sites > MAX_SITES:
+        raise SimulationError(
+            f"the vectorized backend packs distinguished sites into a "
+            f"64-bit mask and supports at most {MAX_SITES} sites, got "
+            f"{n_sites}"
+        )
+    _kernel_for(make_protocol(protocol, site_names(n_sites)))
+
+
+class BatchOutcome:
+    """Per-replicate results of one vectorized batch (plain tuples).
+
+    Tuples rather than arrays so the outcome pickles compactly across the
+    process boundary and aggregation upstream is backend-agnostic.
+    """
+
+    __slots__ = ("estimates", "failures", "repairs", "accepted", "denied", "steps")
+
+    def __init__(
+        self,
+        estimates: tuple[float, ...],
+        failures: tuple[int, ...],
+        repairs: tuple[int, ...],
+        accepted: tuple[int, ...],
+        denied: tuple[int, ...],
+        steps: int,
+    ) -> None:
+        self.estimates = estimates
+        self.failures = failures
+        self.repairs = repairs
+        self.accepted = accepted
+        self.denied = denied
+        self.steps = steps
+
+
+class VectorizedReplicaBatch:
+    """R replicates of the Section VI model, advanced together per step.
+
+    Parameters
+    ----------
+    protocol:
+        A registry name (custom factories cannot be introspected into a
+        kernel; use the scalar backend for those).
+    n_sites / ratio:
+        Replicas and the repair/failure ratio mu/lambda (lambda = 1).
+    seed / stream_names:
+        Master seed and one stream name per replicate; replicate *i* draws
+        from a Philox stream keyed by ``derive_seed(seed, stream_names[i])``
+        and nothing else, making every trajectory a pure function of the
+        pair -- independent of batch size, chunking, and workers.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        n_sites: int,
+        ratio: float,
+        *,
+        seed: int,
+        stream_names: Sequence[str],
+    ) -> None:
+        if not stream_names:
+            raise SimulationError("a vectorized batch needs at least one replicate")
+        if n_sites > MAX_SITES:
+            raise SimulationError(
+                f"the vectorized backend supports at most {MAX_SITES} sites"
+            )
+        sites = site_names(n_sites)
+        instance = make_protocol(protocol, sites)
+        self._kernel = _kernel_for(instance)
+        rates = Rates.from_ratio(ratio)
+        self._lam = rates.failure
+        self._mu = rates.repair
+        self._n = n_sites
+        replicates = len(stream_names)
+        self._generators = [
+            np.random.Generator(np.random.Philox(key=derive_seed(seed, name)))
+            for name in stream_names
+        ]
+        meta = instance.initial_metadata()
+        index = {site: i for i, site in enumerate(sites)}
+        initial_ds = np.uint64(
+            sum(1 << index[site] for site in meta.distinguished)
+        )
+        self._up = np.ones((replicates, n_sites), dtype=bool)
+        self._vn = np.zeros((replicates, n_sites), dtype=np.int64)
+        self._sc = np.full((replicates, n_sites), meta.cardinality, dtype=np.int64)
+        self._ds = np.full((replicates, n_sites), initial_ds, dtype=np.uint64)
+        self._available = np.ones(replicates, dtype=bool)
+        self._weighted = np.zeros(replicates)
+        self._observed = np.zeros(replicates)
+        self._failures = np.zeros(replicates, dtype=np.int64)
+        self._repairs = np.zeros(replicates, dtype=np.int64)
+        self._accepted = np.zeros(replicates, dtype=np.int64)
+        self._denied = np.zeros(replicates, dtype=np.int64)
+        self._bitvals = np.uint64(1) << np.arange(n_sites, dtype=np.uint64)
+        self._rows = np.arange(replicates)
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Inspection (read-only views, used by the parity tests)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def replicates(self) -> int:
+        """Batch width R."""
+        return len(self._rows)
+
+    @property
+    def steps(self) -> int:
+        """Batched numpy steps executed so far."""
+        return self._steps
+
+    @property
+    def up(self) -> np.ndarray:
+        """(R, n) up/down state (copy)."""
+        return self._up.copy()
+
+    @property
+    def vn(self) -> np.ndarray:
+        """(R, n) per-site version numbers (copy)."""
+        return self._vn.copy()
+
+    @property
+    def sc(self) -> np.ndarray:
+        """(R, n) per-site update-sites cardinalities (copy)."""
+        return self._sc.copy()
+
+    @property
+    def ds(self) -> np.ndarray:
+        """(R, n) per-site distinguished-sites bitmasks (copy)."""
+        return self._ds.copy()
+
+    @property
+    def available(self) -> np.ndarray:
+        """(R,) whether each replicate's up set is distinguished (copy)."""
+        return self._available.copy()
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+
+    def run(self, events: int, *, accumulate: bool) -> None:
+        """Advance every replicate ``events`` steps.
+
+        With ``accumulate`` the time-weighted availability integrand is
+        collected (the post-burn-in phase); without, events are burned.
+        """
+        if events < 0:
+            raise SimulationError(f"event count must be nonnegative: {events}")
+        replicates = self.replicates
+        remaining = events
+        chunk_cap = max(1, _CHUNK_BUDGET // (2 * replicates))
+        while remaining > 0:
+            chunk = min(remaining, chunk_cap)
+            # One (chunk, 2) draw per replicate, stacked to (R, chunk, 2):
+            # each generator is consumed sequentially, so chunking never
+            # changes a replicate's stream.
+            uniforms = np.stack(
+                [gen.random((chunk, 2)) for gen in self._generators]
+            )
+            for t in range(chunk):
+                self._step(uniforms[:, t, 0], uniforms[:, t, 1], accumulate)
+            remaining -= chunk
+
+    def _step(
+        self, u_wait: np.ndarray, u_pick: np.ndarray, accumulate: bool
+    ) -> None:
+        """One failure/repair event in every replicate, then the update."""
+        up = self._up
+        rates = np.where(up, self._lam, self._mu)
+        total = rates.sum(axis=1)
+        if self._mu == 0.0 and not total.all():
+            raise SimulationError(
+                "the system is absorbed: no site can fail or be repaired"
+            )
+        elapsed = -np.log1p(-u_wait) / total
+        if accumulate:
+            # The pre-event state has been in force for `elapsed`.
+            gain = np.where(self._available, up.sum(axis=1) / self._n, 0.0)
+            self._weighted += gain * elapsed
+            self._observed += elapsed
+        # Competing exponentials: strike site i with probability
+        # rate_i / total, via one uniform against the row-wise cumsum.
+        cumulative = np.cumsum(rates, axis=1)
+        pick = u_pick * total
+        site = np.minimum(
+            (cumulative <= pick[:, None]).sum(axis=1), self._n - 1
+        )
+        self.force_events(site)
+
+    def force_events(self, site: np.ndarray) -> None:
+        """Toggle ``site[r]`` in each replicate and apply the update.
+
+        The deterministic half of :meth:`_step`, exposed so tests can
+        replay *scripted* event sequences through the kernels and compare
+        every metadata array against the scalar oracle.
+        """
+        rows = self._rows
+        was_up = self._up[rows, site]
+        self._failures += was_up
+        self._repairs += ~was_up
+        self._up[rows, site] = ~was_up
+
+        view = _StepView(
+            self._up, self._vn, self._sc, self._ds, self._bitvals,
+            event_site=site, event_was_failure=was_up,
+        )
+        alive = view.k > 0
+        accept = self._kernel.decide(view) & alive
+        new_sc, new_ds = self._kernel.commit(view)
+        install = accept[:, None] & self._up
+        self._vn = np.where(install, (view.M + 1)[:, None], self._vn)
+        self._sc = np.where(install, new_sc[:, None], self._sc)
+        self._ds = np.where(install, new_ds.astype(np.uint64)[:, None], self._ds)
+        self._available = accept
+        self._accepted += accept
+        self._denied += alive & ~accept
+        self._steps += 1
+
+    def outcome(self) -> BatchOutcome:
+        """Freeze the per-replicate results into a picklable outcome."""
+        safe = np.where(self._observed > 0, self._observed, 1.0)
+        estimates = np.where(self._observed > 0, self._weighted / safe, 0.0)
+        return BatchOutcome(
+            estimates=tuple(float(x) for x in estimates),
+            failures=tuple(int(x) for x in self._failures),
+            repairs=tuple(int(x) for x in self._repairs),
+            accepted=tuple(int(x) for x in self._accepted),
+            denied=tuple(int(x) for x in self._denied),
+            steps=self._steps,
+        )
+
+
+def simulate_batch(
+    protocol: str,
+    n_sites: int,
+    ratio: float,
+    *,
+    events: int,
+    burn_in_events: int,
+    seed: int,
+    stream_names: Sequence[str],
+) -> BatchOutcome:
+    """Run one batch of replicates: burn in, then accumulate availability.
+
+    The vectorized counterpart of ``montecarlo._run_replicate`` for a whole
+    batch at once; each replicate's estimate depends only on
+    ``(seed, stream_names[i], protocol, n_sites, ratio, events,
+    burn_in_events)``.
+    """
+    batch = VectorizedReplicaBatch(
+        protocol, n_sites, ratio, seed=seed, stream_names=stream_names
+    )
+    batch.run(burn_in_events, accumulate=False)
+    batch.run(events, accumulate=True)
+    return batch.outcome()

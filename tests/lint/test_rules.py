@@ -61,6 +61,20 @@ class TestRep001NoDirectRandom:
         result = lint_snippet("import random\n", "REP001", rel="repro/sim/rng.py")
         assert result.new == []
 
+    def test_vectorized_backend_is_the_only_other_sanctioned_site(
+        self, lint_snippet
+    ):
+        code = """
+            import numpy as np
+
+            def generator(seed: int):
+                return np.random.Generator(np.random.Philox(key=seed))
+            """
+        exempt = lint_snippet(code, "REP001", rel="repro/sim/vectorized.py")
+        assert exempt.new == []
+        elsewhere = lint_snippet(code, "REP001", rel="repro/sim/other.py")
+        assert rules_of(elsewhere) == ["REP001", "REP001"]
+
 
 class TestRep002NoWallClock:
     def test_time_time_flagged(self, lint_snippet):

@@ -83,6 +83,65 @@ class TestCancellation:
         handle.cancel()
         assert sim.pending() == 1
 
+    def test_pending_accurate_after_cancelled_entries_pop(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        handles[0].cancel()
+        handles[2].cancel()
+        assert sim.pending() == 2
+        sim.step()  # runs the entry at t=2, discarding the cancelled t=1
+        assert sim.pending() == 1
+
+
+class TestCompaction:
+    """Cancelled entries cannot accumulate without bound."""
+
+    def test_heap_compacts_when_cancelled_dominate(self):
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        sim = Simulator()
+        total = 8 * _COMPACT_MIN_CANCELLED
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(total)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending() == 0
+        # Every compaction leaves at most the sub-threshold tail of lazy
+        # cancellations behind, however many were scheduled.
+        assert len(sim._queue) < _COMPACT_MIN_CANCELLED
+
+    def test_order_preserved_across_compaction(self):
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        sim = Simulator()
+        ran = []
+        keep = []
+        total = 4 * _COMPACT_MIN_CANCELLED
+        for i in range(total):
+            handle = sim.schedule(
+                float(total - i), lambda i=i: ran.append(i)
+            )
+            if i % 4 == 0:
+                keep.append((total - i, i))
+            else:
+                handle.cancel()
+        sim.run()
+        assert ran == [i for _, i in sorted(keep)]
+
+    def test_small_queues_never_compact(self):
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        sim = Simulator()
+        count = _COMPACT_MIN_CANCELLED - 1
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(count)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending() == 0
+        assert len(sim._queue) == count  # lazy discard still in effect
+
 
 class TestRunLimits:
     def test_run_until_stops_the_clock_at_the_horizon(self):

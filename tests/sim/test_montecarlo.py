@@ -1,9 +1,12 @@
 """Unit tests for the Monte-Carlo availability estimator."""
 
+import math
+import statistics
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import estimate_availability
+from repro.sim import RunningCI, estimate_availability
 
 
 class TestEstimator:
@@ -57,6 +60,50 @@ class TestEstimator:
     def test_nonpositive_events_rejected(self):
         with pytest.raises(SimulationError):
             estimate_availability("voting", 3, 1.0, replicates=2, events=0)
+
+
+class TestRunningCI:
+    """The Welford replacement for the O(R^2) running-CI replay."""
+
+    def test_matches_batch_statistics_at_every_prefix(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.2, 0.8) for _ in range(200)]
+        running = RunningCI()
+        for count, value in enumerate(values, start=1):
+            running.update(value)
+            prefix = values[:count]
+            assert running.count == count
+            assert running.mean == pytest.approx(
+                statistics.fmean(prefix), rel=1e-12
+            )
+            if count >= 2:
+                expected = statistics.stdev(prefix) / math.sqrt(count)
+                assert running.stderr() == pytest.approx(expected, rel=1e-12)
+                assert running.half_width() == pytest.approx(
+                    1.96 * expected, rel=1e-12
+                )
+
+    def test_undefined_before_two_observations(self):
+        running = RunningCI()
+        assert running.stderr() is None
+        assert running.half_width() is None
+        running.update(0.5)
+        assert running.half_width() is None
+
+    def test_ci_half_width_gauge_pins_final_stderr(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = estimate_availability(
+            "hybrid", 4, 1.0, replicates=6, events=800, seed=12,
+            metrics=registry,
+        )
+        half_width = registry.snapshot()["mc.ci.half_width"]["value"]
+        # The last replay iteration folds in every replicate, so the gauge
+        # must equal the result's own CI half-width.
+        assert half_width == pytest.approx(1.96 * result.stderr, rel=1e-9)
 
 
 def _hybrid_factory(sites):
