@@ -13,6 +13,12 @@ backend's throughput *is* asserted (>= 10x events/sec over scalar at
 n = 5): its win is per-core numpy batching, not parallelism, so it does
 not depend on the machine's core count.
 
+Every run also appends lightweight :class:`repro.bench.BenchRecord`
+entries (scenario ids shared with ``repro bench run --suite perf``) to
+the JSONL history under ``benchmarks/manifests/`` -- the time axis the
+``repro bench compare`` regression gate and the committed
+``BENCH_perf.json`` trajectory are built from (docs/BENCHMARKING.md).
+
 Unlike the figure benchmarks this module does not use the
 pytest-benchmark fixture, so the telemetry-smoke CI job can run it with
 plain pytest.
@@ -83,6 +89,23 @@ def test_perf_scaling_smoke(bench_manifest):
     )
     scalar_eps = scalar_events / serial_s
     vector_eps = vector_events / vectorized_s
+    bench_manifest.record(
+        "mc.scalar.hybrid.n5",
+        seed=MC_KWARGS["seed"],
+        params={"protocol": "hybrid", "n_sites": 5, "ratio": 1.0,
+                "backend": "scalar", "workers": 1,
+                "burn_in_events": MC_BURN_IN, **MC_KWARGS},
+        timings={"wall_s": serial_s, "events_per_sec": scalar_eps,
+                 "workers2_wall_s": parallel_s},
+    )
+    bench_manifest.record(
+        "mc.vectorized.hybrid.n5",
+        seed=VECTOR_KWARGS["seed"],
+        params={"protocol": "hybrid", "n_sites": 5, "ratio": 1.0,
+                "backend": "vectorized", "workers": 1,
+                "burn_in_events": MC_BURN_IN, **VECTOR_KWARGS},
+        timings={"wall_s": vectorized_s, "events_per_sec": vector_eps},
+    )
     throughput = vector_eps / scalar_eps
     analytic = availability("hybrid", 5, 1.0)
     assert vectorized.agrees_with(analytic), "vectorized drifted from analytic"
@@ -100,13 +123,13 @@ def test_perf_scaling_smoke(bench_manifest):
     rows.append(
         ["vectorized us/event", 1e6 / scalar_eps, 1e6 / vector_eps, throughput]
     )
-    if bench_manifest.registry is not None:
-        gauges = bench_manifest.registry.scope("bench.perf.vectorized")
-        gauges.gauge("events_per_sec", wall_clock=True).set(vector_eps)
-        gauges.gauge("scalar_events_per_sec", wall_clock=True).set(scalar_eps)
+    gauges = bench_manifest.registry.scope("bench.perf.vectorized")
+    gauges.gauge("events_per_sec", wall_clock=True).set(vector_eps)
+    gauges.gauge("scalar_events_per_sec", wall_clock=True).set(scalar_eps)
 
     # -- Grid solves: per-point vs one stacked solve vs Horner sweep.
     clear_symbolic_cache()
+    batched_total_s = 0.0
     for protocol in CHAIN_PROTOCOLS:
         chain = chain_for(protocol, 5)
         per_point, per_point_s = _timed(
@@ -119,6 +142,7 @@ def test_perf_scaling_smoke(bench_manifest):
         assert max(
             abs(a - b) for a, b in zip(per_point, batched)
         ) <= 1e-12, f"batched grid drifted from per-point for {protocol}"
+        batched_total_s += batched_s
         rows.append(
             [f"{protocol} grid ({len(GRID)} pts)", per_point_s, batched_s,
              per_point_s / batched_s]
@@ -138,12 +162,28 @@ def test_perf_scaling_smoke(bench_manifest):
          per_point_s / horner_s]
     )
     clear_symbolic_cache()
+    bench_manifest.record(
+        "markov.grid.batched.n5",
+        params={"protocols": list(CHAIN_PROTOCOLS), "n_sites": 5,
+                "grid_points": len(GRID)},
+        timings={
+            "solve_batch_s": batched_total_s,
+            "points_per_sec": len(CHAIN_PROTOCOLS) * len(GRID) / batched_total_s,
+        },
+    )
+    bench_manifest.record(
+        "markov.grid.horner.n5",
+        params={"protocol": "hybrid", "n_sites": 5, "grid_points": len(GRID)},
+        timings={
+            "horner_sweep_s": horner_s,
+            "points_per_sec": len(GRID) / horner_s,
+        },
+    )
 
-    if bench_manifest.registry is not None:
-        gauges = bench_manifest.registry.scope("bench.perf")
-        for label, base_s, fast_s, speedup in rows:
-            key = label.split(" ")[0].replace("-", "_")
-            gauges.gauge(f"{key}.speedup", wall_clock=True).set(speedup)
+    gauges = bench_manifest.registry.scope("bench.perf")
+    for label, base_s, fast_s, speedup in rows:
+        key = label.split(" ")[0].replace("-", "_")
+        gauges.gauge(f"{key}.speedup", wall_clock=True).set(speedup)
     bench_manifest.write(
         "BENCH_perf",
         protocol={"name": "all", "protocols": ["hybrid", *CHAIN_PROTOCOLS],

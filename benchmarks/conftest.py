@@ -14,29 +14,69 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import BenchRecord, append_records
 from repro.obs import MetricsRegistry, RunManifest, Stopwatch
 
-
-def once(benchmark, fn, *args, **kwargs):
-    """Benchmark an expensive function with a single measured round."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+#: Default JSONL history the lightweight record mode appends to, relative
+#: to the repo root (= this file's parent's parent).
+_DEFAULT_HISTORY = Path(__file__).resolve().parent / "manifests" / "bench_history.jsonl"
 
 
 class BenchManifest:
-    """Optional telemetry capture for one benchmark.
+    """Telemetry capture for one benchmark: metrics, manifest, record.
 
-    Capture is opted into with ``REPRO_BENCH_MANIFEST_DIR=/some/dir``;
-    the benchmark records into :attr:`registry` and :meth:`write`
-    persists a run manifest there, so performance trajectories (e.g.
-    ``mc.events_per_sec`` across commits) can be scraped from manifests
-    instead of parsing pytest output (docs/OBSERVABILITY.md).  With the
-    variable unset, :attr:`registry` is None and :meth:`write` no-ops.
+    Capture is **default-on**: every benchmark gets a live
+    :attr:`registry`, and :meth:`record` appends a lightweight
+    :class:`~repro.bench.BenchRecord` -- revision (``git describe``),
+    workload params including backend/workers, metric snapshot, timings
+    -- to the append-only JSONL history (``REPRO_BENCH_HISTORY``
+    overrides the path; set it to ``-`` to disable appending).
+
+    Full run-manifest files remain opted into with
+    ``REPRO_BENCH_MANIFEST_DIR=/some/dir``: :meth:`write` persists a
+    manifest there so performance trajectories can be scraped from
+    manifests instead of parsing pytest output (docs/OBSERVABILITY.md,
+    docs/BENCHMARKING.md).  With the variable unset :meth:`write`
+    no-ops, but :attr:`registry` stays live either way.
     """
 
-    def __init__(self, directory: str | None) -> None:
+    def __init__(self, directory: str | None, history: str | None = None) -> None:
         self._directory = directory
-        self.registry = MetricsRegistry() if directory else None
+        if history is None:
+            history = os.environ.get("REPRO_BENCH_HISTORY", str(_DEFAULT_HISTORY))
+        self._history = None if history in ("-", "") else Path(history)
+        self.registry = MetricsRegistry()
         self.stopwatch = Stopwatch()
+
+    def record(
+        self,
+        scenario: str,
+        *,
+        params: dict,
+        timings: dict,
+        suite: str = "perf",
+        seed: int | None = None,
+    ) -> BenchRecord:
+        """Append one scenario's bench record to the JSONL history.
+
+        Every record carries ``git describe`` and its ``created_at``
+        stamp via :meth:`BenchRecord.collect`; callers put the backend /
+        workers configuration in ``params`` so records stay comparable
+        across machine shapes.  Returns the record either way; appending
+        is skipped when the history is disabled.
+        """
+        record = BenchRecord.collect(
+            suite,
+            scenario,
+            seed=seed,
+            params=params,
+            registry=self.registry,
+            timings=timings,
+            manifest=f"bench:{scenario}",
+        )
+        if self._history is not None:
+            append_records(self._history, [record])
+        return record
 
     def write(
         self,
@@ -46,8 +86,8 @@ class BenchManifest:
         params: dict,
         seed: int | None = None,
     ) -> Path | None:
-        """Persist this benchmark's manifest when capture is on."""
-        if self._directory is None or self.registry is None:
+        """Persist this benchmark's full manifest when capture is on."""
+        if self._directory is None:
             return None
         target = Path(self._directory)
         target.mkdir(parents=True, exist_ok=True)
@@ -64,5 +104,5 @@ class BenchManifest:
 
 @pytest.fixture
 def bench_manifest() -> BenchManifest:
-    """Per-test manifest capture, gated by REPRO_BENCH_MANIFEST_DIR."""
+    """Per-test telemetry capture (manifests gated by REPRO_BENCH_MANIFEST_DIR)."""
     return BenchManifest(os.environ.get("REPRO_BENCH_MANIFEST_DIR"))

@@ -1,0 +1,87 @@
+"""Benchmark trajectory: records, append-only history, regression gate.
+
+The closed loop ROADMAP's north-star asks for -- span forest -> profile ->
+committed trajectory -> CI gate -- runs through this package:
+
+* :mod:`repro.bench.record` -- the :class:`BenchRecord` schema
+  (``repro.bench-record/1``): one scenario's measurement, deterministic
+  modulo :data:`~repro.bench.record.WALL_CLOCK_FIELDS`, linked to the run
+  manifest that produced its metrics.
+* :mod:`repro.bench.history` -- the append-only JSONL history under
+  ``benchmarks/manifests/`` and the regenerated repo-root
+  ``BENCH_perf.json`` trajectory (``repro.bench-trajectory/1``).
+* :mod:`repro.bench.compare` -- the noise-aware gate: relative tolerance
+  plus absolute floors per metric class, hard-failing only the protected
+  classes (events/sec throughput, solve-batch timings) and soft-warning
+  everywhere else.
+
+Layering: ``bench`` sits beside ``perf`` (it may import ``obs`` and
+``perf`` but nothing else), and *nothing* imports ``bench`` -- the CLI's
+``repro bench`` verbs orchestrate it from above, so the measurement
+machinery can never leak into the measured code (replint REP008).
+
+See docs/BENCHMARKING.md for the suite layout, the schemas, and the
+tolerance policy.
+"""
+
+from .compare import (
+    BenchComparison,
+    DeltaStatus,
+    MetricClass,
+    TimingDelta,
+    Tolerance,
+    classify_timing,
+    compare_records,
+    compare_runs,
+    render_comparison,
+)
+from .history import (
+    TRAJECTORY_SCHEMA_VERSION,
+    append_records,
+    latest_per_scenario,
+    load_history,
+    load_records,
+    merge_histories,
+    render_history,
+    write_run,
+    write_trajectory,
+)
+from .record import (
+    RUN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    WALL_CLOCK_FIELDS,
+    BenchRecord,
+    dump_run,
+    load_run,
+    strip_wall_clock,
+    validate_record,
+)
+
+__all__ = [
+    "BenchComparison",
+    "BenchRecord",
+    "DeltaStatus",
+    "MetricClass",
+    "RUN_SCHEMA_VERSION",
+    "SCHEMA_VERSION",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "TimingDelta",
+    "Tolerance",
+    "WALL_CLOCK_FIELDS",
+    "append_records",
+    "classify_timing",
+    "compare_records",
+    "compare_runs",
+    "dump_run",
+    "latest_per_scenario",
+    "load_history",
+    "load_records",
+    "load_run",
+    "merge_histories",
+    "render_comparison",
+    "render_history",
+    "strip_wall_clock",
+    "validate_record",
+    "write_run",
+    "write_trajectory",
+]

@@ -25,11 +25,32 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from collections.abc import Sequence
 from importlib.metadata import PackageNotFoundError, version as _pkg_version
 
+from .bench import (
+    BenchRecord,
+    Tolerance,
+    append_records,
+    compare_runs,
+    load_history,
+    load_records,
+    render_comparison,
+    render_history,
+    write_run,
+    write_trajectory,
+)
+from .errors import BenchError
 from .lint import runner as lint_runner
-from .obs import MetricsRegistry, RunManifest, Stopwatch, use
+from .obs import (
+    MetricsRegistry,
+    RunManifest,
+    SpanProfiler,
+    Stopwatch,
+    profiling,
+    use,
+)
 from .obs import manifest as obs_manifest
 from .analysis import (
     certified_crossover,
@@ -43,6 +64,8 @@ from .analysis import (
 )
 from .markov import (
     availability,
+    availability_grid,
+    availability_symbolic,
     chain_for,
     mean_time_to_blocking,
     state_tuple,
@@ -186,6 +209,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="+", metavar="MANIFEST")
 
     p = sub.add_parser(
+        "profile",
+        help="run a simulate/compare/trace invocation under the profiler",
+        description=(
+            "Re-enters the CLI with the given invocation while a "
+            "SpanProfiler is installed: sim-time spans fold into "
+            "deterministic inclusive/exclusive tables and a collapsed-"
+            "stack export (flamegraph-ready), and the wall-clock hot "
+            "paths (batched solves, Horner sweeps, vectorized batches, "
+            "pool fan-out) are attributed separately.  See "
+            "docs/BENCHMARKING.md."
+        ),
+    )
+    p.add_argument(
+        "--output", metavar="PATH",
+        help="write the collapsed-stack profile to PATH instead of stdout",
+    )
+    p.add_argument(
+        "profiled", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the repro invocation to profile (simulate, compare, or trace)",
+    )
+
+    p = sub.add_parser(
+        "bench",
+        help="performance trajectory: run suites, compare records, report",
+        description=(
+            "The perf-regression loop of docs/BENCHMARKING.md: `run` "
+            "measures a suite and appends bench records to the JSONL "
+            "history (regenerating the repo-root BENCH_perf.json "
+            "trajectory), `compare` gates a current run against a "
+            "baseline with noise-aware tolerances, `report` renders the "
+            "history."
+        ),
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser("run", help="run a benchmark suite, record results")
+    b.add_argument("--suite", choices=("perf",), default="perf")
+    b.add_argument("--seed", type=int, default=2026)
+    b.add_argument(
+        "--quick", action="store_true",
+        help="test-sized workloads (seconds, for CI smoke and the tests)",
+    )
+    b.add_argument(
+        "--record", metavar="PATH",
+        help="also write this run's records as one bench-run JSON document",
+    )
+    b.add_argument(
+        "--history", metavar="PATH",
+        default="benchmarks/manifests/bench_history.jsonl",
+        help="append-only JSONL history (default: %(default)s; '-' disables)",
+    )
+    b.add_argument(
+        "--trajectory", metavar="PATH", default="BENCH_perf.json",
+        help="regenerated trajectory file (default: %(default)s; '-' disables)",
+    )
+
+    b = bench_sub.add_parser(
+        "compare", help="gate a current bench run against a baseline"
+    )
+    b.add_argument("baseline", help="baseline records (.json run file or .jsonl history)")
+    b.add_argument("current", help="current records (.json run file or .jsonl history)")
+    b.add_argument(
+        "--tolerance", type=float, default=0.35,
+        help="relative movement allowed before a timing regresses "
+             "(default: %(default)s)",
+    )
+    b.add_argument(
+        "--floor", type=float, default=0.005,
+        help="seconds below which timings are noise and skipped "
+             "(default: %(default)s)",
+    )
+    b.add_argument("--format", choices=("text", "md"), default="text")
+
+    b = bench_sub.add_parser("report", help="render the bench history")
+    b.add_argument(
+        "--history", metavar="PATH",
+        default="benchmarks/manifests/bench_history.jsonl",
+    )
+    b.add_argument("--suite", default=None, help="restrict to one suite")
+    b.add_argument("--format", choices=("md", "text"), default="md")
+
+    p = sub.add_parser(
         "transient", help="availability over time from a healthy start"
     )
     p.add_argument("--protocol", default="hybrid")
@@ -226,6 +331,237 @@ def _scripted_trace(protocol: str, n_sites: int) -> TraceLog:
     log = cluster.trace_log
     assert log is not None  # trace=True above
     return log
+
+
+#: Subcommands `repro profile` may wrap: the workloads worth attributing.
+_PROFILEABLE = ("simulate", "compare", "trace")
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: re-enter the CLI under an installed profiler."""
+    target = list(args.profiled)
+    if target and target[0] == "--":  # argparse REMAINDER separator
+        target = target[1:]
+    if not target or target[0] not in _PROFILEABLE:
+        choices = ", ".join(_PROFILEABLE)
+        print(
+            f"repro profile: give an invocation to profile ({choices}), "
+            f"e.g. `repro profile simulate --protocol hybrid -n 5`",
+            file=sys.stderr,
+        )
+        return 2
+    profiler = SpanProfiler()
+    with profiling(profiler):
+        code = main(target)
+    collapsed = profiler.collapsed_stack()
+    print()
+    print(profiler.render())
+    if args.output:
+        Path(args.output).write_text(
+            collapsed + "\n" if collapsed else "", encoding="utf-8"
+        )
+        print(f"wrote collapsed-stack profile {args.output}", file=sys.stderr)
+    elif collapsed:
+        print()
+        print("collapsed stacks (exclusive sim-time, flamegraph-ready):")
+        print(collapsed)
+    return code
+
+
+def _perf_scenario(
+    suite: str,
+    scenario: str,
+    *,
+    seed: int | None,
+    params: dict,
+    run,
+    timings_from,
+) -> BenchRecord:
+    """Measure one suite scenario under a fresh registry and profiler.
+
+    ``run(registry)`` executes the workload; ``timings_from(result,
+    seconds)`` maps its return value and wall time to the timing table.
+    The scenario's hot-path wall attributions ride along as soft
+    ``profile.<name>_s`` timings, linking the profile to the record.
+    """
+    registry = MetricsRegistry()
+    profiler = SpanProfiler()
+    stopwatch = Stopwatch()
+    with use(registry), profiling(profiler):
+        result = run(registry)
+    seconds = max(stopwatch.seconds, 1e-9)
+    timings = dict(timings_from(result, seconds))
+    for name, entry in profiler.wall_table().items():
+        timings[f"profile.{name}_s"] = entry["seconds"]
+    return BenchRecord.collect(
+        suite,
+        scenario,
+        seed=seed,
+        params=params,
+        registry=registry,
+        timings=timings,
+        manifest=f"bench:{scenario}",
+    )
+
+
+def _perf_suite_records(seed: int, quick: bool) -> list[BenchRecord]:
+    """The ``perf`` suite: the fast paths ROADMAP protects, measured.
+
+    Four scenarios -- scalar Monte-Carlo, the vectorized backend, the
+    batched Markov grid, the Horner symbolic sweep -- mirroring
+    ``benchmarks/bench_perf_scaling.py``.  ``quick`` shrinks the
+    workloads to test size without changing the scenario ids, so quick
+    and full runs still compare (their params differ, which disables the
+    determinism-drift check across the two modes).
+    """
+    from .markov import clear_symbolic_cache
+
+    records = []
+    replicates, events, burn = (4, 400, 100) if quick else (6, 4_000, 1_000)
+    mc_params = {
+        "protocol": "hybrid",
+        "n_sites": 5,
+        "ratio": 1.0,
+        "replicates": replicates,
+        "events": events,
+        "burn_in_events": burn,
+        "workers": 1,
+    }
+    records.append(
+        _perf_scenario(
+            "perf",
+            "mc.scalar.hybrid.n5",
+            seed=seed,
+            params={**mc_params, "backend": "scalar"},
+            run=lambda registry: estimate_availability(
+                "hybrid", 5, 1.0,
+                replicates=replicates, events=events, burn_in_events=burn,
+                seed=seed, metrics=registry, workers=1, backend="scalar",
+            ),
+            timings_from=lambda result, seconds: {
+                "wall_s": seconds,
+                "events_per_sec": replicates * (events + burn) / seconds,
+            },
+        )
+    )
+    v_replicates, v_events, v_burn = (
+        (32, 250, 100) if quick else (256, 2_000, 1_000)
+    )
+    records.append(
+        _perf_scenario(
+            "perf",
+            "mc.vectorized.hybrid.n5",
+            seed=seed,
+            params={
+                **mc_params,
+                "backend": "vectorized",
+                "replicates": v_replicates,
+                "events": v_events,
+                "burn_in_events": v_burn,
+            },
+            run=lambda registry: estimate_availability(
+                "hybrid", 5, 1.0,
+                replicates=v_replicates, events=v_events,
+                burn_in_events=v_burn, seed=seed, metrics=registry,
+                workers=1, backend="vectorized",
+            ),
+            timings_from=lambda result, seconds: {
+                "wall_s": seconds,
+                "events_per_sec": v_replicates * (v_events + v_burn) / seconds,
+            },
+        )
+    )
+    grid_points = 50 if quick else 200
+    grid = [0.1 + 19.9 * i / (grid_points - 1) for i in range(grid_points)]
+    grid_protocols = ("dynamic", "dynamic-linear", "hybrid")
+    clear_symbolic_cache()
+    records.append(
+        _perf_scenario(
+            "perf",
+            "markov.grid.batched.n5",
+            seed=None,
+            params={
+                "protocols": list(grid_protocols),
+                "n_sites": 5,
+                "grid_points": grid_points,
+            },
+            run=lambda registry: [
+                availability_grid(name, 5, grid, prefer_symbolic=False)
+                for name in grid_protocols
+            ],
+            timings_from=lambda result, seconds: {
+                "solve_batch_s": seconds,
+                "points_per_sec": len(grid_protocols) * grid_points / seconds,
+            },
+        )
+    )
+    availability_symbolic("hybrid", 5)  # populate the cache outside the timer
+    records.append(
+        _perf_scenario(
+            "perf",
+            "markov.grid.horner.n5",
+            seed=None,
+            params={"protocol": "hybrid", "n_sites": 5, "grid_points": grid_points},
+            run=lambda registry: availability_grid(
+                "hybrid", 5, grid, prefer_symbolic=True
+            ),
+            timings_from=lambda result, seconds: {
+                "horner_sweep_s": seconds,
+                "points_per_sec": grid_points / seconds,
+            },
+        )
+    )
+    clear_symbolic_cache()
+    return records
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    """``repro bench run``: measure a suite, append history, regenerate."""
+    records = _perf_suite_records(args.seed, args.quick)
+    for record in records:
+        timings = " ".join(
+            f"{name}={value:.6g}"
+            for name, value in sorted(record.timings.items())
+            if not name.startswith("profile.")
+        )
+        print(f"{record.scenario}: {timings}")
+    if args.record:
+        path = write_run(args.record, records)
+        print(f"wrote bench-run record {path}", file=sys.stderr)
+    if args.history != "-":
+        history_path = append_records(args.history, records)
+        print(f"appended {len(records)} record(s) to {history_path}", file=sys.stderr)
+        if args.trajectory != "-":
+            trajectory = write_trajectory(
+                args.trajectory, load_history(history_path), suite=args.suite
+            )
+            print(f"regenerated trajectory {trajectory}", file=sys.stderr)
+    elif args.trajectory != "-":
+        trajectory = write_trajectory(args.trajectory, records, suite=args.suite)
+        print(f"regenerated trajectory {trajectory}", file=sys.stderr)
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    """``repro bench compare``: the regression gate's CLI face."""
+    tolerance = Tolerance(relative=args.tolerance, floor_seconds=args.floor)
+    comparison = compare_runs(
+        load_records(args.baseline), load_records(args.current), tolerance
+    )
+    print(render_comparison(comparison, args.format))
+    return comparison.exit_code
+
+
+def _bench_report(args: argparse.Namespace) -> int:
+    """``repro bench report``: render the history for humans."""
+    records = load_history(args.history)
+    if args.suite is not None:
+        records = [r for r in records if r.suite == args.suite]
+    if not records:
+        print(f"no bench records in {args.history}", file=sys.stderr)
+        return 1
+    print(render_history(records, args.format))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -406,6 +742,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         mttb = mean_time_to_blocking(chain, args.ratio)
         print(f"mean time to first blocking: {mttb:.4f} (1/lambda units)")
         return 0
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "bench":
+        try:
+            if args.bench_command == "run":
+                return _bench_run(args)
+            if args.bench_command == "compare":
+                return _bench_compare(args)
+            if args.bench_command == "report":
+                return _bench_report(args)
+        except (BenchError, OSError) as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
     raise AssertionError("unreachable")  # pragma: no cover
 
 

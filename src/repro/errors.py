@@ -25,6 +25,7 @@ __all__ = [
     "SingularSystemError",
     "ObservabilityError",
     "ManifestError",
+    "BenchError",
 ]
 
 
@@ -98,6 +99,10 @@ class ObservabilityError(ReproError):
 
 class ManifestError(ObservabilityError):
     """A run manifest is malformed or fails schema validation."""
+
+
+class BenchError(ObservabilityError):
+    """A benchmark record, history, or comparison is malformed or misused."""
 
 
 class AlgebraError(ReproError):

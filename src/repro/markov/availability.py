@@ -17,6 +17,7 @@ from fractions import Fraction
 
 from ..errors import AnalysisError
 from ..obs.metrics import global_registry
+from ..obs.profile import hotpath
 from ..ratfunc import Polynomial, RationalFunction
 from .chains import (
     chain_for,
@@ -227,8 +228,10 @@ def grid(
             registry.counter("markov.solve.horner").inc()
             registry.histogram("markov.solve.grid_size").observe(len(points))
         symbolic = availability_symbolic(protocol_name, n)
-        return tuple(symbolic.evaluate_grid(points))
-    values = _chain(protocol_name, n).availability_grid(points)
+        with hotpath("markov.grid.horner"):
+            return tuple(symbolic.evaluate_grid(points))
+    with hotpath("markov.grid.batched"):
+        values = _chain(protocol_name, n).availability_grid(points)
     return tuple(float(value) for value in values)
 
 

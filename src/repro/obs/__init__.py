@@ -16,6 +16,9 @@ The observability layer sits just above :mod:`repro.errors` /
   rounds, catch-up, in-doubt windows) with LIFO nesting enforcement.
 * :mod:`repro.obs.clock` -- the only module allowed to read the wall
   clock (replint REP002 exempts exactly that file).
+* :mod:`repro.obs.profile` -- the deterministic :class:`SpanProfiler`
+  (span-forest folding into inclusive/exclusive tables, collapsed-stack
+  export) and the :func:`hotpath` wall timers behind ``repro profile``.
 * :mod:`repro.obs.manifest` -- the :class:`RunManifest` JSON artifact
   (seed, protocol, params, git describe, metric snapshots) with schema
   validation; deterministic modulo :data:`WALL_CLOCK_FIELDS`.
@@ -43,6 +46,13 @@ from .metrics import (
     global_registry,
     use,
 )
+from .profile import (
+    SpanProfiler,
+    active_profiler,
+    hotpath,
+    parse_collapsed,
+    profiling,
+)
 from .spans import NULL_TRACKER, Span, SpanTracker
 from .trace import TraceEvent, TraceLog
 
@@ -58,6 +68,11 @@ __all__ = [
     "Span",
     "SpanTracker",
     "NULL_TRACKER",
+    "SpanProfiler",
+    "active_profiler",
+    "hotpath",
+    "parse_collapsed",
+    "profiling",
     "TraceEvent",
     "TraceLog",
     "Stopwatch",

@@ -35,6 +35,7 @@ from ..errors import ObservabilityError
 __all__ = [
     "Counter",
     "Gauge",
+    "HISTOGRAM_QUANTILES",
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
@@ -99,14 +100,23 @@ class Gauge:
         return {"type": "gauge", "value": self._value}
 
 
-class Histogram:
-    """Streaming summary of observations: count / sum / min / max / mean.
+#: Quantiles every histogram snapshot reports (nearest-rank).
+HISTOGRAM_QUANTILES = (50, 90, 99)
 
-    No buckets: the summary is exact, allocation-free per observation, and
-    deterministic -- which is what snapshots and manifests need.
+
+class Histogram:
+    """Exact summary of observations: count / sum / min / max / mean plus
+    deterministic nearest-rank quantiles (p50 / p90 / p99).
+
+    No buckets and no sampling: the recorded values are kept, so the
+    summary -- quantiles included -- is exact and deterministic, which is
+    what snapshots, manifests, and bench records need.  The memory cost is
+    one float per observation; the series recorded here (per-replicate
+    estimates, span durations, solve sizes) are thousands of points at
+    most, never per-event hot loops.
     """
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max")
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_values")
 
     kind = "histogram"
 
@@ -116,6 +126,7 @@ class Histogram:
         self._sum = 0.0
         self._min: float | None = None
         self._max: float | None = None
+        self._values: list[float] = []
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -126,6 +137,7 @@ class Histogram:
             self._min = value
         if self._max is None or value > self._max:
             self._max = value
+        self._values.append(value)
 
     @property
     def count(self) -> int:
@@ -139,9 +151,27 @@ class Histogram:
             return None
         return self._sum / self._count
 
+    def quantile(self, q: float) -> float | None:
+        """The nearest-rank ``q``-th percentile (None if empty).
+
+        Nearest-rank is the deterministic textbook definition: the value
+        at (1-indexed) rank ``ceil(q/100 * count)`` of the sorted
+        observations -- always an observed value, never an interpolation,
+        so two identically-seeded runs agree bit-for-bit.
+        """
+        if not self._values:
+            return None
+        if not 0 < q <= 100:
+            raise ObservabilityError(
+                f"quantile must be in (0, 100], got {q!r}"
+            )
+        ordered = sorted(self._values)
+        rank = -(-q * len(ordered) // 100)  # ceil without importing math
+        return ordered[int(rank) - 1]
+
     def describe(self) -> dict:
         """Snapshot entry for this instrument."""
-        return {
+        entry = {
             "type": "histogram",
             "count": self._count,
             "sum": self._sum,
@@ -149,6 +179,9 @@ class Histogram:
             "max": self._max,
             "mean": self.mean,
         }
+        for q in HISTOGRAM_QUANTILES:
+            entry[f"p{q}"] = self.quantile(q)
+        return entry
 
 
 class _NullCounter(Counter):
@@ -280,7 +313,8 @@ class MetricsRegistry:
             if entry["type"] == "histogram":
                 value = (
                     f"count={entry['count']} sum={entry['sum']:g} "
-                    f"min={_fmt(entry['min'])} max={_fmt(entry['max'])}"
+                    f"min={_fmt(entry['min'])} max={_fmt(entry['max'])} "
+                    f"p50={_fmt(entry['p50'])} p99={_fmt(entry['p99'])}"
                 )
             else:
                 value = _fmt(entry["value"])

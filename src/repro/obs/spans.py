@@ -23,6 +23,7 @@ code pays one method call and no allocation.
 from __future__ import annotations
 
 from ..errors import ObservabilityError
+from . import profile
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .trace import TraceLog
 
@@ -159,6 +160,9 @@ class SpanTracker:
         self._closed_count += 1
         duration = span.duration
         assert duration is not None
+        profiler = profile.active_profiler()
+        if profiler is not None:
+            profiler.record_span(span)
         if self._metrics.enabled:
             self._metrics.histogram(f"span.{span.name}").observe(duration)
         if self._trace_log is not None:

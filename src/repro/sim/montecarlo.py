@@ -43,6 +43,7 @@ from ..core.registry import make_protocol
 from ..errors import SimulationError
 from ..obs.clock import Stopwatch
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.profile import hotpath
 from ..perf.executor import make_executor, resolve_workers
 from ..types import SiteId, site_names
 from .failures import Rates
@@ -379,7 +380,8 @@ def estimate_availability(
             )
             for start in range(0, replicates, width)
         ]
-        batch_outcomes = executor.map(_run_vector_batch, batch_tasks)
+        with hotpath("mc.fanout.vectorized"):
+            batch_outcomes = executor.map(_run_vector_batch, batch_tasks)
         vector_batches = len(batch_outcomes)
         vector_steps = sum(batch.steps for batch in batch_outcomes)
         outcomes = [
@@ -398,7 +400,8 @@ def estimate_availability(
             )
             for index in range(replicates)
         ]
-        outcomes = executor.map(_run_replicate, tasks)
+        with hotpath("mc.fanout.scalar"):
+            outcomes = executor.map(_run_replicate, tasks)
     estimates = [outcome.estimate for outcome in outcomes]
     if registry.enabled:
         # Replay the per-replicate series in replicate order: the

@@ -1,0 +1,161 @@
+"""Regression-gate tests: tolerance policy, hard classes, drift, floors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DeltaStatus,
+    MetricClass,
+    Tolerance,
+    classify_timing,
+    compare_records,
+    compare_runs,
+    render_comparison,
+)
+from repro.errors import BenchError
+
+from .test_record import make_record
+
+#: Timings large enough to clear the measurement floor in every test.
+BASE_TIMINGS = {
+    "wall_s": 1.0,
+    "events_per_sec": 24_000.0,
+    "solve_batch_s": 0.5,
+    "aux_s": 0.2,
+}
+
+
+def record_with(timings, **overrides):
+    return make_record(timings=timings, **overrides)
+
+
+class TestPolicy:
+    def test_classification_by_suffix(self):
+        assert classify_timing("events_per_sec") is MetricClass.RATE
+        assert classify_timing("solve_batch_s") is MetricClass.SECONDS
+
+    def test_tolerance_validates_knobs(self):
+        with pytest.raises(BenchError, match="relative tolerance"):
+            Tolerance(relative=1.5)
+        with pytest.raises(BenchError, match="nonnegative"):
+            Tolerance(floor_seconds=-0.1)
+
+    def test_hard_patterns_are_narrow(self):
+        tolerance = Tolerance()
+        assert tolerance.is_hard("events_per_sec")
+        assert tolerance.is_hard("solve_batch_s")
+        assert not tolerance.is_hard("profile.markov.solve.batched_s")
+        assert not tolerance.is_hard("aux_s")
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        base = record_with(BASE_TIMINGS)
+        comparison = compare_records(base, base)
+        assert comparison.ok
+        assert comparison.exit_code == 0
+        assert not comparison.hard_failures
+        assert not comparison.warnings
+        assert not comparison.drift
+
+    def test_injected_2x_slowdown_hard_fails(self):
+        base = record_with(BASE_TIMINGS)
+        slow = record_with(
+            {**BASE_TIMINGS, "events_per_sec": 12_000.0, "wall_s": 2.0}
+        )
+        comparison = compare_records(base, slow, Tolerance(relative=0.3))
+        assert not comparison.ok
+        assert comparison.exit_code == 1
+        assert [d.name for d in comparison.hard_failures] == ["events_per_sec"]
+
+    def test_solve_batch_seconds_regression_hard_fails(self):
+        base = record_with(BASE_TIMINGS)
+        slow = record_with({**BASE_TIMINGS, "solve_batch_s": 1.0})
+        comparison = compare_records(base, slow)
+        assert [d.name for d in comparison.hard_failures] == ["solve_batch_s"]
+
+    def test_unprotected_regression_only_warns(self):
+        base = record_with(BASE_TIMINGS)
+        slow = record_with({**BASE_TIMINGS, "aux_s": 0.8})
+        comparison = compare_records(base, slow)
+        assert comparison.ok  # warnings never fail the build
+        assert [d.name for d in comparison.warnings] == ["aux_s"]
+
+    def test_movement_within_tolerance_is_ok(self):
+        base = record_with(BASE_TIMINGS)
+        wobble = record_with(
+            {**BASE_TIMINGS, "events_per_sec": 24_000.0 * 0.8, "wall_s": 1.2}
+        )
+        assert compare_records(base, wobble, Tolerance(relative=0.35)).ok
+
+    def test_improvement_is_reported_not_failed(self):
+        base = record_with(BASE_TIMINGS)
+        fast = record_with({**BASE_TIMINGS, "events_per_sec": 60_000.0})
+        comparison = compare_records(base, fast)
+        (delta,) = [d for d in comparison.deltas if d.name == "events_per_sec"]
+        assert delta.status is DeltaStatus.IMPROVED
+        assert comparison.ok
+
+    def test_sub_floor_timings_are_skipped_even_at_10x(self):
+        base = record_with({"wall_s": 0.001, "tiny_per_sec": 1_000.0})
+        slow = record_with({"wall_s": 0.01, "tiny_per_sec": 100.0})
+        comparison = compare_records(base, slow)
+        assert all(d.status is DeltaStatus.SKIPPED for d in comparison.deltas)
+        assert comparison.ok
+
+    def test_different_scenarios_cannot_compare(self):
+        with pytest.raises(BenchError, match="different scenarios"):
+            compare_records(
+                make_record(), make_record(scenario="markov.grid.horner.n5")
+            )
+
+
+class TestDeterminismDrift:
+    def test_same_seed_metric_change_is_drift(self):
+        base = record_with(BASE_TIMINGS)
+        drifted = record_with(
+            BASE_TIMINGS,
+            metrics={"mc.mean": {"type": "gauge", "value": 0.43}},
+        )
+        comparison = compare_records(base, drifted)
+        assert comparison.drift == ("mc.scalar.hybrid.n5: mc.mean",)
+        assert comparison.ok  # drift warns; the gate fails only on speed
+
+    def test_different_seed_or_params_is_not_drift(self):
+        base = record_with(BASE_TIMINGS)
+        other_seed = record_with(
+            BASE_TIMINGS,
+            seed=1,
+            metrics={"mc.mean": {"type": "gauge", "value": 0.9}},
+        )
+        assert compare_records(base, other_seed).drift == ()
+
+
+class TestCompareRuns:
+    def test_scenario_matching_and_missing(self):
+        base = [make_record(), make_record(scenario="markov.grid.batched.n5")]
+        current = [make_record()]
+        comparison = compare_runs(base, current)
+        assert comparison.missing == (
+            "markov.grid.batched.n5 (scenario gone from current run)",
+        )
+        assert comparison.ok  # missing is reported, not fatal
+
+    def test_latest_record_wins_within_a_run(self):
+        old = record_with({**BASE_TIMINGS, "events_per_sec": 1_000.0})
+        new = record_with(BASE_TIMINGS)
+        comparison = compare_runs([old, new], [new])
+        assert comparison.ok  # compared against `new`, not `old`
+
+
+class TestRendering:
+    def test_verdict_lines(self):
+        base = record_with(BASE_TIMINGS)
+        slow = record_with({**BASE_TIMINGS, "events_per_sec": 6_000.0})
+        assert "PASS" in render_comparison(compare_records(base, base))
+        report = render_comparison(compare_records(base, slow), "md")
+        assert "HARD REGRESSION" in report
+        assert report.splitlines()[0].startswith("| scenario |")
+        with pytest.raises(BenchError, match="format"):
+            render_comparison(compare_records(base, base), "html")

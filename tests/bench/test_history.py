@@ -1,0 +1,116 @@
+"""History tests: append-only JSONL, merging, and the trajectory file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    TRAJECTORY_SCHEMA_VERSION,
+    append_records,
+    latest_per_scenario,
+    load_history,
+    load_records,
+    merge_histories,
+    render_history,
+    write_run,
+    write_trajectory,
+)
+from repro.errors import BenchError
+
+from .test_record import make_record
+
+
+class TestAppendAndLoad:
+    def test_append_creates_and_round_trips(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        records = [make_record(), make_record(scenario="markov.grid.horner.n5")]
+        append_records(path, records)
+        assert load_history(path) == records
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        first = make_record(git="aaa")
+        second = make_record(git="bbb")
+        append_records(path, [first])
+        before = path.read_text()
+        append_records(path, [second])
+        assert path.read_text().startswith(before)  # never rewrites a line
+        assert load_history(path) == [first, second]
+
+    def test_load_reports_bad_lines_with_position(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(make_record().to_json() + "\nnot json\n")
+        with pytest.raises(BenchError, match=r"history\.jsonl:2"):
+            load_history(path)
+
+    def test_load_records_accepts_run_documents_and_histories(self, tmp_path):
+        records = [make_record()]
+        run_path = write_run(tmp_path / "run.json", records)
+        history_path = append_records(tmp_path / "h.jsonl", records)
+        assert load_records(run_path) == records
+        assert load_records(history_path) == records
+
+    def test_load_records_accepts_bare_record_and_array(self, tmp_path):
+        record = make_record()
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(record.to_dict()))
+        array = tmp_path / "many.json"
+        array.write_text(json.dumps([record.to_dict()]))
+        assert load_records(single) == [record]
+        assert load_records(array) == [record]
+
+
+class TestSelectionAndMerge:
+    def test_latest_per_scenario_is_file_order(self):
+        old = make_record(git="old")
+        new = make_record(git="new")
+        other = make_record(scenario="markov.grid.batched.n5")
+        latest = latest_per_scenario([old, other, new])
+        assert latest["mc.scalar.hybrid.n5"] is new
+        assert list(latest) == sorted(latest)  # scenario order
+
+    def test_merge_drops_only_exact_duplicates(self):
+        a = make_record(git="aaa")
+        b = make_record(git="bbb")  # same scenario, different revision
+        assert merge_histories([a, b], [a]) == [a, b]
+
+
+class TestTrajectory:
+    def test_regeneration_is_sorted_and_schema_tagged(self, tmp_path):
+        later = make_record(created_at="2026-08-07T02:00:00+00:00")
+        earlier = make_record(
+            scenario="markov.grid.batched.n5",
+            created_at="2026-08-07T01:00:00+00:00",
+        )
+        path = write_trajectory(tmp_path / "BENCH_perf.json", [later, earlier])
+        data = json.loads(path.read_text())
+        assert data["schema"] == TRAJECTORY_SCHEMA_VERSION
+        assert [e["created_at"] for e in data["entries"]] == [
+            "2026-08-07T01:00:00+00:00",
+            "2026-08-07T02:00:00+00:00",
+        ]
+
+    def test_entries_surface_headline_metrics_and_timings(self, tmp_path):
+        record = make_record()
+        path = write_trajectory(tmp_path / "t.json", [record], suite="perf")
+        (entry,) = json.loads(path.read_text())["entries"]
+        assert entry["timings"] == dict(record.timings)
+        assert entry["metrics"]["mc.mean"] == 0.42
+
+    def test_suite_filter_and_empty_rejection(self, tmp_path):
+        with pytest.raises(BenchError, match="at least one record"):
+            write_trajectory(tmp_path / "t.json", [make_record()], suite="other")
+
+
+class TestReport:
+    def test_render_formats(self):
+        records = [make_record()]
+        md = render_history(records, "md")
+        assert md.splitlines()[0].startswith("| created_at |")
+        assert "mc.scalar.hybrid.n5" in md
+        text = render_history(records, "text")
+        assert "mc.scalar.hybrid.n5" in text
+        with pytest.raises(BenchError, match="format"):
+            render_history(records, "html")

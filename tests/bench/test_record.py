@@ -1,0 +1,105 @@
+"""Bench-record schema tests: validation, round-trip, wall-clock split."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    RUN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    WALL_CLOCK_FIELDS,
+    BenchRecord,
+    dump_run,
+    load_run,
+    strip_wall_clock,
+    validate_record,
+)
+from repro.errors import BenchError
+from repro.obs import MetricsRegistry
+
+
+def make_record(**overrides) -> BenchRecord:
+    fields = dict(
+        suite="perf",
+        scenario="mc.scalar.hybrid.n5",
+        seed=2026,
+        params={"protocol": "hybrid", "n_sites": 5, "backend": "scalar"},
+        metrics={"mc.mean": {"type": "gauge", "value": 0.42}},
+        timings={"wall_s": 1.25, "events_per_sec": 24_000.0},
+        manifest="bench:mc.scalar.hybrid.n5",
+        git="abc1234",
+        created_at="2026-08-07T00:00:00+00:00",
+    )
+    fields.update(overrides)
+    return BenchRecord(**fields)
+
+
+class TestSchema:
+    def test_round_trips_through_dict_and_json(self):
+        record = make_record()
+        assert BenchRecord.from_dict(record.to_dict()) == record
+        assert BenchRecord.from_dict(json.loads(record.to_json())) == record
+
+    def test_collect_stamps_git_and_timestamp(self):
+        registry = MetricsRegistry()
+        registry.gauge("mc.mean").set(0.5)
+        record = BenchRecord.collect(
+            "perf",
+            "scenario",
+            seed=1,
+            params={"backend": "scalar", "workers": 1},
+            registry=registry,
+            timings={"wall_s": 0.1},
+        )
+        assert record.git  # always captured, never opt-in
+        assert record.created_at
+        assert record.metrics["mc.mean"]["value"] == 0.5
+        validate_record(record.to_dict())
+
+    @pytest.mark.parametrize(
+        "broken, match",
+        [
+            ({"schema": "repro.bench-record/0"}, "schema"),
+            ({"suite": ""}, "nonempty"),
+            ({"seed": "2026"}, "seed"),
+            ({"timings": {}}, "at least one"),
+            ({"timings": {"wall_s": "fast"}}, "must be a number"),
+            ({"timings": {"flag": True}}, "must be a number"),
+        ],
+    )
+    def test_validation_rejects(self, broken, match):
+        data = {**make_record().to_dict(), **broken}
+        with pytest.raises(BenchError, match=match):
+            validate_record(data)
+
+    def test_validation_reports_missing_fields(self):
+        data = make_record().to_dict()
+        del data["metrics"]
+        with pytest.raises(BenchError, match="missing required field 'metrics'"):
+            validate_record(data)
+
+
+class TestWallClockSplit:
+    def test_strip_removes_exactly_the_wall_fields(self):
+        data = make_record().to_dict()
+        stripped = strip_wall_clock(data)
+        assert set(data) - set(stripped) == set(WALL_CLOCK_FIELDS)
+
+    def test_identically_seeded_records_agree_after_strip(self):
+        a = make_record(git="aaa", created_at="t1", timings={"wall_s": 1.0})
+        b = make_record(git="bbb", created_at="t2", timings={"wall_s": 9.0})
+        assert strip_wall_clock(a.to_dict()) == strip_wall_clock(b.to_dict())
+
+
+class TestRunDocument:
+    def test_dump_and_load_round_trip(self):
+        records = [make_record(), make_record(scenario="markov.grid.batched.n5")]
+        data = json.loads(dump_run(records))
+        assert data["schema"] == RUN_SCHEMA_VERSION
+        assert load_run(data) == records
+
+    def test_load_rejects_wrong_schema(self):
+        with pytest.raises(BenchError, match=RUN_SCHEMA_VERSION):
+            load_run({"schema": SCHEMA_VERSION, "records": []})

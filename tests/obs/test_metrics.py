@@ -39,7 +39,33 @@ class TestInstruments:
             "min": 1.0,
             "max": 3.0,
             "mean": 2.0,
+            "p50": 2.0,
+            "p90": 3.0,
+            "p99": 3.0,
         }
+
+    def test_histogram_quantiles_are_nearest_rank(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):  # 1..100: pX is exactly X
+            histogram.observe(float(value))
+        assert histogram.quantile(50) == 50.0
+        assert histogram.quantile(90) == 90.0
+        assert histogram.quantile(99) == 99.0
+        assert histogram.quantile(100) == 100.0
+        # Nearest-rank on a tiny sample: rank = ceil(q/100 * N).
+        small = MetricsRegistry().histogram("s")
+        for value in (10.0, 20.0):
+            small.observe(value)
+        assert small.quantile(50) == 10.0
+        assert small.quantile(51) == 20.0
+
+    def test_histogram_quantile_rejects_bad_q_and_empty_is_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        for bad in (0, -1, 101):
+            with pytest.raises(ObservabilityError, match="quantile"):
+                histogram.quantile(bad)
+        assert MetricsRegistry().histogram("e").quantile(50) is None
 
     def test_same_name_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -202,3 +202,123 @@ class TestArtifactCommand:
 
         data = json.loads(path.read_text())
         assert set(data["theorem3"]) == {"3", "4"}
+
+
+class TestProfileCommand:
+    def test_profile_requires_a_profileable_target(self, capsys):
+        assert main(["profile"]) == 2
+        assert "simulate" in capsys.readouterr().err
+
+    def test_profile_collapsed_stack_matches_the_span_forest(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import parse_collapsed, profiling
+
+        # Ground truth: run the same deterministic invocation under a
+        # profiler of our own; sim-time spans make both runs identical.
+        with profiling() as profiler:
+            assert main(["trace", "--protocol", "hybrid", "-n", "3"]) == 0
+        capsys.readouterr()
+
+        path = tmp_path / "trace.collapsed"
+        code = main(
+            ["profile", "--output", str(path),
+             "trace", "--protocol", "hybrid", "-n", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim-time spans (deterministic):" in out
+        emitted = parse_collapsed(path.read_text())
+        assert emitted == pytest.approx(profiler.stacks())
+        assert sum(emitted.values()) == pytest.approx(profiler.total())
+
+    def test_profile_rejects_unprofileable_targets(self, capsys):
+        assert main(["profile", "lint", "src"]) == 2
+        assert "simulate, compare, trace" in capsys.readouterr().err
+
+
+class TestBenchCommands:
+    def _run(self, tmp_path, seed="2026"):
+        record = tmp_path / "run.json"
+        history = tmp_path / "history.jsonl"
+        trajectory = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["bench", "run", "--suite", "perf", "--quick", "--seed", seed,
+             "--record", str(record), "--history", str(history),
+             "--trajectory", str(trajectory)]
+        )
+        assert code == 0
+        return record, history, trajectory
+
+    def test_bench_run_writes_record_history_and_trajectory(
+        self, tmp_path, capsys
+    ):
+        record, history, trajectory = self._run(tmp_path)
+        out = capsys.readouterr().out
+        assert "mc.scalar.hybrid.n5" in out
+        run_doc = json.loads(record.read_text())
+        assert run_doc["schema"] == "repro.bench-run/1"
+        scenarios = {r["scenario"] for r in run_doc["records"]}
+        assert scenarios == {
+            "mc.scalar.hybrid.n5",
+            "mc.vectorized.hybrid.n5",
+            "markov.grid.batched.n5",
+            "markov.grid.horner.n5",
+        }
+        assert all(r["git"] for r in run_doc["records"])
+        assert len(history.read_text().splitlines()) == 4
+        assert json.loads(trajectory.read_text())["schema"] == (
+            "repro.bench-trajectory/1"
+        )
+
+    def test_bench_compare_against_itself_passes(self, tmp_path, capsys):
+        record, _, _ = self._run(tmp_path)
+        assert main(["bench", "compare", str(record), str(record)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_compare_detects_injected_2x_slowdown(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        record, _, _ = self._run(tmp_path)
+        capsys.readouterr()
+
+        # Inject a 2x slowdown into the Monte-Carlo hot path: same
+        # deterministic result, double the wall time.
+        original = cli_module.estimate_availability
+
+        def twice_as_slow(*args, **kwargs):
+            original(*args, **kwargs)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(cli_module, "estimate_availability", twice_as_slow)
+        slow = tmp_path / "slow.json"
+        assert main(
+            ["bench", "run", "--quick", "--record", str(slow),
+             "--history", "-", "--trajectory", "-"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["bench", "compare", str(record), str(slow), "--tolerance", "0.3"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "HARD REGRESSION" in out
+        assert "events_per_sec" in out
+
+    def test_bench_report_renders_the_history(self, tmp_path, capsys):
+        _, history, _ = self._run(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["bench", "report", "--history", str(history), "--format", "md"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| created_at |")
+        assert "markov.grid.horner.n5" in out
+
+    def test_bench_errors_exit_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        code = main(["bench", "compare", str(missing), str(missing)])
+        assert code == 2
+        assert "repro bench:" in capsys.readouterr().err
