@@ -1,0 +1,192 @@
+"""Schedule actions: the alphabet the explorer enumerates.
+
+An execution of the checked system is a finite sequence of *actions*, each
+an atomic step applied to the :class:`~repro.check.harness.CheckHarness`:
+submit a workload operation, deliver one in-flight message, fire one armed
+protocol timer, crash/recover a site, or cut/heal a link.  Actions are
+frozen value objects -- equality and hashing by content -- because the
+sleep-set reduction and counterexample serialization both need stable
+action identity across replays.
+
+Each action knows its *home site* (:func:`home_site`): the single site
+whose volatile state the action mutates.  Two actions are *independent*
+(they commute) exactly when both are local steps (deliveries or timer
+firings) with different home sites; environment actions (crash, recover,
+link changes, submissions) are conservatively dependent on everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import CheckError
+from ..types import SiteId
+
+__all__ = [
+    "Action",
+    "SubmitOp",
+    "Deliver",
+    "FireTimer",
+    "CrashSite",
+    "RecoverSite",
+    "CutLink",
+    "HealLink",
+    "home_site",
+    "independent",
+    "action_to_json",
+    "action_from_json",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitOp:
+    """Submit workload operation ``index`` (an update at a fixed site)."""
+
+    index: int
+    site: SiteId
+
+    def describe(self) -> str:
+        return f"submit op {self.index} at {self.site}"
+
+
+@dataclass(frozen=True, slots=True)
+class Deliver:
+    """Deliver one in-flight message (or lose it, if the topology says so).
+
+    The message itself is identified by envelope fields plus a canonical
+    payload key (``payload``), not by object identity, so the same action
+    names the same message instance on every replay.
+    """
+
+    source: SiteId
+    destination: SiteId
+    message_type: str
+    run_id: int
+    payload: str
+
+    def describe(self) -> str:
+        return (
+            f"deliver {self.message_type}(run {self.run_id}) "
+            f"{self.source} -> {self.destination}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FireTimer:
+    """Fire one armed protocol timer (timeouts are nondeterministic)."""
+
+    kind: str
+    run_id: int
+    site: SiteId
+
+    def describe(self) -> str:
+        return f"fire {self.kind}(run {self.run_id}) at {self.site}"
+
+
+@dataclass(frozen=True, slots=True)
+class CrashSite:
+    """Fail-stop a site: volatile state is wiped, durable state survives."""
+
+    site: SiteId
+
+    def describe(self) -> str:
+        return f"crash site {self.site}"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoverSite:
+    """Repair a site and start its Make_Current restart run."""
+
+    site: SiteId
+
+    def describe(self) -> str:
+        return f"recover site {self.site}"
+
+
+@dataclass(frozen=True, slots=True)
+class CutLink:
+    """Fail the link between two sites (partition the network)."""
+
+    a: SiteId
+    b: SiteId
+
+    def describe(self) -> str:
+        return f"cut link {self.a}-{self.b}"
+
+
+@dataclass(frozen=True, slots=True)
+class HealLink:
+    """Repair a previously failed link."""
+
+    a: SiteId
+    b: SiteId
+
+    def describe(self) -> str:
+        return f"heal link {self.a}-{self.b}"
+
+
+Action = SubmitOp | Deliver | FireTimer | CrashSite | RecoverSite | CutLink | HealLink
+
+
+def home_site(action: Action) -> SiteId | None:
+    """The one site whose volatile state the action mutates, if local.
+
+    Deliveries mutate the destination (handler side effects happen there;
+    messages they *send* only join the global in-flight multiset, which is
+    commutative).  Timer firings mutate the owning site.  Environment
+    actions return ``None``: they touch global structures (topology, run
+    table, budgets) and are treated as dependent with everything.
+    """
+    if isinstance(action, Deliver):
+        return action.destination
+    if isinstance(action, FireTimer):
+        return action.site
+    return None
+
+
+def independent(a: Action, b: Action) -> bool:
+    """Whether ``a`` and ``b`` commute from every state enabling both.
+
+    Sound over-approximation used by the sleep-set reduction: two local
+    steps with different home sites touch disjoint volatile state and both
+    only *append* to the in-flight multiset, so either order reaches the
+    same state.  Anything involving an environment action is declared
+    dependent (loss outcomes depend on topology; submissions consume
+    shared budgets and run identifiers).
+    """
+    ha, hb = home_site(a), home_site(b)
+    return ha is not None and hb is not None and ha != hb
+
+
+_ACTION_TYPES: dict[str, type] = {
+    "submit": SubmitOp,
+    "deliver": Deliver,
+    "timer": FireTimer,
+    "crash": CrashSite,
+    "recover": RecoverSite,
+    "cut": CutLink,
+    "heal": HealLink,
+}
+_TYPE_NAMES = {cls: name for name, cls in _ACTION_TYPES.items()}
+
+
+def action_to_json(action: Action) -> dict[str, Any]:
+    """A JSON-ready dict naming the action (for counterexample files)."""
+    record: dict[str, Any] = {"action": _TYPE_NAMES[type(action)]}
+    for field in type(action).__dataclass_fields__:
+        record[field] = getattr(action, field)
+    return record
+
+
+def action_from_json(record: dict[str, Any]) -> Action:
+    """Reconstruct an action from :func:`action_to_json` output."""
+    data = dict(record)
+    name = data.pop("action", None)
+    cls = _ACTION_TYPES.get(name)
+    if cls is None:
+        raise CheckError(f"unknown action type in schedule: {name!r}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise CheckError(f"malformed {name!r} action: {record!r}") from exc

@@ -1,0 +1,180 @@
+"""Depth-bounded exhaustive exploration with sleep sets and state caching.
+
+The explorer walks every schedule (sequence of
+:mod:`~repro.check.actions`) up to a depth bound, depth-first and in
+canonical action order, so state and transition counts are deterministic.
+Two reductions keep the walk tractable without losing any reachable
+violation within the bound:
+
+* **Sleep sets** (Godefroid): after exploring action *a* from a state,
+  the siblings explored later put *a* to sleep in their subtrees as long
+  as it stays independent -- the commuted interleaving ``b;a`` reaches the
+  same state as the already-explored ``a;b`` and is pruned.  Independence
+  is the conservative relation of :func:`~repro.check.actions.independent`
+  (local steps at different home sites).
+* **State caching**: visited states are deduplicated by their canonical
+  snapshot (:class:`~repro.check.state.ClusterSnapshot` -- an exact
+  encoding, not a truncated digest).  Because a cached visit is only as
+  good as the depth budget and sleep set it was explored with, each state
+  stores the *set* of ``(depth, sleep)`` visits made; a new visit is
+  pruned only if some prior visit had at least as much remaining depth
+  **and** a sleep set no larger (explored at least as much).  Merging
+  visits into a single pair would be unsound, so dominated pairs are kept
+  pruned but incomparable ones accumulate.
+
+Backtracking restores states by replaying the schedule prefix on a fresh
+harness (see :mod:`~repro.check.harness` for why live state cannot be
+deep-copied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CheckError
+from .actions import Action, independent
+from .harness import CheckConfig, CheckHarness
+from .oracles import Violation, check_oracles, default_oracle_names
+from .state import ClusterSnapshot
+
+__all__ = ["CheckResult", "Explorer"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exploration: counts, bound status, any violation."""
+
+    config: CheckConfig
+    depth: int
+    states: int = 0
+    transitions: int = 0
+    sleep_pruned: int = 0
+    cache_pruned: int = 0
+    frontier_cutoffs: int = 0
+    quiescent_states: int = 0
+    truncated: bool = False
+    violation: Violation | None = None
+    schedule: tuple[Action, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no oracle reported a violation."""
+        return self.violation is None and not self.truncated
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (stable key set)."""
+        return {
+            "protocol": self.config.protocol,
+            "sites": self.config.n_sites,
+            "depth": self.depth,
+            "states": self.states,
+            "transitions": self.transitions,
+            "sleep_pruned": self.sleep_pruned,
+            "cache_pruned": self.cache_pruned,
+            "frontier_cutoffs": self.frontier_cutoffs,
+            "quiescent_states": self.quiescent_states,
+            "truncated": self.truncated,
+            "violation": (
+                None
+                if self.violation is None
+                else {
+                    "oracle": self.violation.oracle,
+                    "detail": self.violation.detail,
+                }
+            ),
+            "schedule_length": len(self.schedule),
+        }
+
+
+@dataclass
+class _Visit:
+    """One exploration of a state: remaining budget and sleep set."""
+
+    depth: int
+    sleep: frozenset[Action]
+
+    def covers(self, depth: int, sleep: frozenset[Action]) -> bool:
+        """Whether this prior visit already explored at least as much."""
+        return depth >= self.depth and sleep >= self.sleep
+
+
+@dataclass
+class Explorer:
+    """One depth-bounded exhaustive run over a :class:`CheckConfig`."""
+
+    config: CheckConfig
+    depth: int
+    oracles: tuple[str, ...] = field(default_factory=default_oracle_names)
+    max_states: int | None = None
+
+    def run(self) -> CheckResult:
+        """Explore and return the (deterministic) result."""
+        self._harness = CheckHarness(self.config)
+        self._visited: dict[ClusterSnapshot, list[_Visit]] = {}
+        self._result = CheckResult(config=self.config, depth=self.depth)
+        self._dfs([], 0, frozenset(), None)
+        self._result.states = len(self._visited)
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # DFS
+    # ------------------------------------------------------------------ #
+
+    def _dfs(
+        self,
+        schedule: list[Action],
+        depth: int,
+        sleep: frozenset[Action],
+        previous: ClusterSnapshot | None,
+    ) -> bool:
+        """Explore from the harness's current state; True aborts the walk."""
+        result = self._result
+        snapshot = self._harness.snapshot()
+        violation = check_oracles(self.oracles, self._harness, snapshot, previous)
+        if violation is not None:
+            result.violation = violation
+            result.schedule = tuple(schedule)
+            return True
+        visits = self._visited.get(snapshot)
+        if visits is not None:
+            if any(v.covers(depth, sleep) for v in visits):
+                result.cache_pruned += 1
+                return False
+            visits[:] = [
+                v
+                for v in visits
+                if not (depth <= v.depth and sleep <= v.sleep)
+            ]
+            visits.append(_Visit(depth, sleep))
+        else:
+            self._visited[snapshot] = [_Visit(depth, sleep)]
+            if self.max_states is not None and len(self._visited) > self.max_states:
+                result.truncated = True
+                return True
+        enabled = self._harness.enabled_actions()
+        if not enabled:
+            result.quiescent_states += 1
+            return False
+        if depth >= self.depth:
+            result.frontier_cutoffs += 1
+            return False
+        explore = [a for a in enabled if a not in sleep]
+        result.sleep_pruned += len(enabled) - len(explore)
+        explored: list[Action] = []
+        for position, action in enumerate(explore):
+            if position > 0:
+                self._harness.replay(schedule)
+            child_sleep = frozenset(
+                {b for b in sleep if independent(action, b)}
+                | {b for b in explored if independent(action, b)}
+            )
+            if not self._harness.apply(action):  # pragma: no cover - invariant
+                raise CheckError(f"enabled action failed to apply: {action!r}")
+            result.transitions += 1
+            schedule.append(action)
+            stop = self._dfs(schedule, depth + 1, child_sleep, snapshot)
+            schedule.pop()
+            if stop:
+                return True
+            explored.append(action)
+        return False

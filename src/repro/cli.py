@@ -11,6 +11,7 @@ Subcommands map to the experiment index of DESIGN.md::
     repro simulate --backend vectorized -n 9      # batched numpy backend
     repro crossover --first hybrid --second dynamic -n 5
     repro lint src/repro                # replint static analysis
+    repro check --quick                 # explicit-state model checking
     repro trace --protocol hybrid -n 3  # message-level protocol trace
     repro validate-manifest out.json    # check a run manifest's schema
 
@@ -41,6 +42,7 @@ from .bench import (
     write_run,
     write_trajectory,
 )
+from .check import runner as check_runner
 from .errors import BenchError
 from .lint import runner as lint_runner
 from .obs import (
@@ -180,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     lint_runner.configure_parser(p)
+
+    p = sub.add_parser(
+        "check",
+        help="explicit-state model checking of the netsim protocol code",
+        description=(
+            "Explores every message-delivery order, timer race, and "
+            "(budgeted) crash/recover/partition event up to a depth bound, "
+            "checking invariant oracles (fork freedom, participant "
+            "exclusivity, distinguished-partition mutual exclusion, ...) "
+            "in each reachable state.  Violations are minimized into "
+            "replayable JSONL schedules.  See docs/CHECKING.md."
+        ),
+    )
+    check_runner.configure_parser(p)
 
     p = sub.add_parser(
         "trace",
@@ -725,6 +741,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return lint_runner.run_from_args(args)
+    if args.command == "check":
+        return check_runner.run_from_args(args)
     if args.command == "transient":
         chain = chain_for(args.protocol, args.sites)
         values = transient_availability(chain, args.ratio, args.times)

@@ -26,6 +26,7 @@ __all__ = [
     "ObservabilityError",
     "ManifestError",
     "BenchError",
+    "CheckError",
 ]
 
 
@@ -111,3 +112,7 @@ class AlgebraError(ReproError):
 
 class SingularSystemError(AlgebraError):
     """A symbolic linear system has no unique solution."""
+
+
+class CheckError(ReproError):
+    """The explicit-state checker was misconfigured or a replay diverged."""

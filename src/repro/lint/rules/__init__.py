@@ -9,6 +9,8 @@ Rule modules, by concern:
   exceptions)
 * :mod:`.docs` -- REP007 (public docstrings cite the paper)
 * :mod:`.layering` -- REP008 (layer diagram enforcement)
+* :mod:`.netsim_purity` -- REP009 (handler purity, call-graph walk)
+* :mod:`.seedflow` -- REP010 (seed taint from derive_seed)
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ from . import (  # noqa: F401  (imported for their @register side effects)
     docs,
     layering,
     metadata,
+    netsim_purity,
     numerics,
     protocols,
+    seedflow,
 )

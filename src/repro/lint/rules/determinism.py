@@ -40,6 +40,25 @@ CLOCK_MODULE = "obs/clock.py"
 #: exemption is by module, mirroring CLOCK_MODULE.
 EXECUTOR_MODULE = "perf/executor.py"
 
+#: Wall-clock reads as ``<base>.<attr>()`` call patterns.  Shared with the
+#: REP009 handler-purity walk, which re-checks them along netsim call
+#: chains rather than per file.
+CLOCK_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Wall-clock reads as bare imported names.
+CLOCK_NAMES = {"perf_counter", "perf_counter_ns", "monotonic", "time_ns"}
+
 
 @register
 class NoDirectRandom(FileRule):
@@ -133,19 +152,8 @@ class NoWallClock(FileRule):
     #: CPU-count probes, as ``os.<attr>`` calls or bare imported names.
     _CPU_PROBES = {"cpu_count", "process_cpu_count"}
 
-    _CLOCK_ATTRS = {
-        ("time", "time"),
-        ("time", "time_ns"),
-        ("time", "monotonic"),
-        ("time", "monotonic_ns"),
-        ("time", "perf_counter"),
-        ("time", "perf_counter_ns"),
-        ("datetime", "now"),
-        ("datetime", "utcnow"),
-        ("datetime", "today"),
-        ("date", "today"),
-    }
-    _CLOCK_NAMES = {"perf_counter", "perf_counter_ns", "monotonic", "time_ns"}
+    _CLOCK_ATTRS = CLOCK_ATTRS
+    _CLOCK_NAMES = CLOCK_NAMES
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not ctx.is_file(EXECUTOR_MODULE):

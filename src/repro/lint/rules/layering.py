@@ -36,6 +36,9 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "sim": frozenset({"core", "obs", "perf", "errors", "types"}),
     "reassignment": frozenset({"core", "quorums", "errors", "types"}),
     "netsim": frozenset({"core", "obs", "sim", "errors", "types"}),
+    # The model checker drives netsim deterministically and serializes
+    # counterexamples through obs; nothing imports check.
+    "check": frozenset({"core", "netsim", "obs", "sim", "errors", "types"}),
     "analysis": frozenset(
         {
             "core",

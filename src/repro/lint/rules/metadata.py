@@ -48,7 +48,10 @@ class NoMetadataMutation(FileRule):
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         in_core = ctx.in_package and ctx.in_dirs(COMMIT_DIR)
         for node, parents in walk_with_parents(ctx.tree):
-            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)) and not in_core:
+            if (
+                isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete))
+                and not in_core
+            ):
                 targets = (
                     node.targets
                     if isinstance(node, (ast.Assign, ast.Delete))

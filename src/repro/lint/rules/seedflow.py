@@ -1,0 +1,294 @@
+"""REP010: every RNG consumption is keyed by ``derive_seed`` (data flow).
+
+REP001 confines raw RNG construction to ``sim/rng.py`` and
+``sim/vectorized.py``; this rule checks the stronger property those two
+modules must uphold: the seed that reaches each RNG constructor is
+*data-flow-reachable* from :func:`repro.sim.rng.derive_seed`.  An RNG
+built from a literal, from wall-clock entropy, or from an unseeded
+default would silently break the common-random-numbers contract even
+inside the sanctioned modules, where REP001 is blind.
+
+A consumption site is a call to an RNG constructor spelled through a
+``random`` attribute chain (``random.Random``, ``np.random.Generator``,
+``np.random.Philox``, ``np.random.PCG64``, ``np.random.default_rng``,
+``np.random.SeedSequence``) or a ``<rng>.seed(...)`` re-seeding call.
+Its seed expression is tainted (OK) when:
+
+1. the argument subtree contains a ``derive_seed(...)`` call directly; or
+2. the argument is a local/module name whose assignment chain (a backward
+   slice within the module) reaches a ``derive_seed(...)`` call; or
+3. the argument is a parameter of the enclosing function and *every* call
+   site of that function found in the project passes a tainted value
+   (one level of interprocedural taint).
+
+Anything else -- a bare literal, an unseeded constructor, a parameter
+with no provably-tainted call site -- is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..registry import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    register,
+    walk_with_parents,
+)
+
+#: RNG constructors recognised when spelled via a ``random`` module chain.
+RNG_CONSTRUCTORS = {
+    "Random",
+    "Generator",
+    "Philox",
+    "PCG64",
+    "default_rng",
+    "SeedSequence",
+}
+
+#: The canonical seed-derivation function (repro.sim.rng.derive_seed).
+SEED_SOURCE = "derive_seed"
+
+
+def _chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` as ``["a", "b", "c"]`` (empty when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _contains_seed_source(node: ast.AST) -> bool:
+    """Whether any ``derive_seed(...)`` call appears in the subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id == SEED_SOURCE:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == SEED_SOURCE:
+                return True
+    return False
+
+
+def _seed_argument(call: ast.Call) -> ast.AST | None:
+    """The expression feeding the RNG's seed (first arg or any keyword)."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            return keyword.value
+    return None
+
+
+def _assignments(tree: ast.Module) -> dict[str, list[ast.AST]]:
+    """Name -> assigned value expressions, across the whole module."""
+    out: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.setdefault(target.id, []).append(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                out.setdefault(node.target.id, []).append(node.value)
+    return out
+
+
+@register
+class SeedTaint(ProjectRule):
+    """REP010: RNG seeds must trace back to ``derive_seed``."""
+
+    code = "REP010"
+    name = "seed-taint"
+    severity = Severity.ERROR
+    description = (
+        "RNG constructor or .seed(...) call whose seed expression is not "
+        "data-flow-reachable from derive_seed (directly, via a module "
+        "assignment slice, or via every project call site of the "
+        "enclosing function)"
+    )
+    rationale = (
+        "Common-random-numbers hygiene (DESIGN.md): replayability holds "
+        "only if every generator is keyed by the master seed through "
+        "derive_seed's named substreams.  REP001 confines where RNGs are "
+        "built; REP010 checks what they are seeded with, which matters "
+        "precisely in the modules REP001 exempts."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for ctx in project.files:
+            yield from self._check_file(ctx, project)
+
+    def _check_file(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterator[Finding]:
+        assigned = _assignments(ctx.tree)
+        for node, ancestors in walk_with_parents(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._consumption_label(node)
+            if label is None:
+                continue
+            seed = _seed_argument(node)
+            if seed is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"unseeded RNG consumption `{label}` (pass a "
+                    f"{SEED_SOURCE}-derived seed)",
+                )
+                continue
+            if self._tainted(seed, assigned, ancestors, project):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"RNG consumption `{label}` with a seed not derived from "
+                f"{SEED_SOURCE}",
+            )
+
+    def _consumption_label(self, call: ast.Call) -> str | None:
+        """A display label when ``call`` consumes an RNG seed, else None."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        parts = _chain(func)
+        if (
+            func.attr in RNG_CONSTRUCTORS
+            and "random" in parts[:-1]
+        ):
+            return ".".join(parts) + "(...)"
+        if func.attr == "seed" and len(parts) >= 2:
+            return ".".join(parts) + "(...)"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Taint propagation
+    # ------------------------------------------------------------------ #
+
+    def _tainted(
+        self,
+        seed: ast.AST,
+        assigned: dict[str, list[ast.AST]],
+        ancestors: list[ast.AST],
+        project: ProjectContext,
+    ) -> bool:
+        if _contains_seed_source(seed):
+            return True
+        if (
+            isinstance(seed, ast.Call)
+            and self._consumption_label(seed) is not None
+        ):
+            # e.g. Generator(Philox(...)): the inner bit generator is a
+            # consumption site in its own right and is checked there.
+            return True
+        if not isinstance(seed, ast.Name):
+            return False
+        if self._name_slice_tainted(seed.id, assigned, set()):
+            return True
+        function = self._enclosing_function(ancestors)
+        if function is not None and seed.id in self._parameters(function):
+            return self._call_sites_tainted(function, seed.id, project)
+        return False
+
+    def _name_slice_tainted(
+        self,
+        name: str,
+        assigned: dict[str, list[ast.AST]],
+        seen: set[str],
+    ) -> bool:
+        """Backward slice: does every assignment to ``name`` taint it?
+
+        Conservative in the safe direction -- *all* observed assignments
+        must be tainted, so a name that is sometimes a literal fails.
+        """
+        if name in seen or name not in assigned:
+            return False
+        seen.add(name)
+        values = assigned[name]
+        for value in values:
+            if _contains_seed_source(value):
+                continue
+            if isinstance(value, ast.Name) and self._name_slice_tainted(
+                value.id, assigned, seen
+            ):
+                continue
+            return False
+        return True
+
+    @staticmethod
+    def _enclosing_function(
+        ancestors: list[ast.AST],
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for node in reversed(ancestors):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    @staticmethod
+    def _parameters(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> dict[str, int]:
+        """Parameter name -> positional index (-1 for keyword-only)."""
+        params: dict[str, int] = {}
+        args = function.args
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            params[arg.arg] = index
+        for arg in args.kwonlyargs:
+            params[arg.arg] = -1
+        return params
+
+    def _call_sites_tainted(
+        self,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        param: str,
+        project: ProjectContext,
+    ) -> bool:
+        """One interprocedural level: every project call site taints param.
+
+        ``self``/``cls`` offsets are not modelled; method call sites pass
+        arguments at the same positional index minus one when invoked as
+        ``obj.method(...)``, so we accept a match at either index.  Zero
+        observed call sites means the seed is unverifiable -> not tainted.
+        """
+        index = self._parameters(function)[param]
+        sites = 0
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                callee = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if callee != function.name:
+                    continue
+                sites += 1
+                if not self._site_arg_tainted(node, param, index):
+                    return False
+        return sites > 0
+
+    @staticmethod
+    def _site_arg_tainted(call: ast.Call, param: str, index: int) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == param:
+                return _contains_seed_source(keyword.value)
+        candidates = []
+        if index >= 0:
+            if index < len(call.args):
+                candidates.append(call.args[index])
+            if index >= 1 and index - 1 < len(call.args):
+                candidates.append(call.args[index - 1])
+        return any(_contains_seed_source(arg) for arg in candidates)

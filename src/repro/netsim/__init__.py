@@ -22,6 +22,7 @@ from .messages import (
     VoteReply,
     VoteRequest,
     next_run_id,
+    reset_run_ids,
 )
 from .network import MessageNetwork
 from .node import AppliedUpdate, Node
@@ -51,4 +52,5 @@ __all__ = [
     "DecisionRequest",
     "DecisionReply",
     "next_run_id",
+    "reset_run_ids",
 ]

@@ -14,21 +14,21 @@ subsequence of that chain.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from typing import Any
 
 from ..core.base import ReplicaControlProtocol
 from ..errors import SimulationError
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..obs.spans import NULL_TRACKER, SpanTracker
-from ..sim.engine import Simulator
+from ..obs.trace import TraceLog
+from ..sim.engine import EventHandle, Simulator
 from ..sim.topology import Topology
 from ..types import SiteId
 from .coordinator import ProtocolRun, RunKind, RunStatus
 from .messages import Message
 from .network import MessageNetwork
 from .node import Node
-from .trace import TraceLog
 
 __all__ = ["ReplicaCluster"]
 
@@ -73,6 +73,8 @@ class ReplicaCluster:
         links: Iterable[tuple[SiteId, SiteId]] | None = None,
         trace: bool = False,
         metrics: MetricsRegistry | None = None,
+        transport: Callable[[SiteId, SiteId, Message], None] | None = None,
+        scheduler: Callable[..., EventHandle] | None = None,
     ) -> None:
         self.protocol = protocol
         self.simulator = Simulator()
@@ -89,7 +91,13 @@ class ReplicaCluster:
             latency,
             observer=self.trace_log.record if trace else None,
             metrics=self.metrics,
+            transport=transport,
         )
+        self._scheduler = scheduler
+        # Test/model-checking seam: when True, subordinates skip the
+        # participants-only guard on CommitMessage/DecisionReply installs,
+        # re-opening the PR-1 fork bug so the checker can rediscover it.
+        self.unsafe_disable_participants_guard = False
         self.vote_window = vote_window if vote_window is not None else 4 * latency
         self.catch_up_window = (
             catch_up_window if catch_up_window is not None else 4 * latency
@@ -159,17 +167,24 @@ class ReplicaCluster:
     # Operations
     # ------------------------------------------------------------------ #
 
-    def submit_update(self, site: SiteId, value: Any) -> ProtocolRun:
-        """Start an update run coordinated at ``site`` (async)."""
-        return self._submit(ProtocolRun(self, site, RunKind.UPDATE, value))
+    def submit_update(
+        self, site: SiteId, value: Any, *, run_id: int | None = None
+    ) -> ProtocolRun:
+        """Start an update run coordinated at ``site`` (async).
 
-    def submit_read(self, site: SiteId) -> ProtocolRun:
+        ``run_id`` (checker seam) pins the identifier instead of drawing
+        from the process-wide counter, so replayed schedules produce
+        identical state fingerprints.
+        """
+        return self._submit(ProtocolRun(self, site, RunKind.UPDATE, value, run_id))
+
+    def submit_read(self, site: SiteId, *, run_id: int | None = None) -> ProtocolRun:
         """Start a read run coordinated at ``site`` (async)."""
-        return self._submit(ProtocolRun(self, site, RunKind.READ))
+        return self._submit(ProtocolRun(self, site, RunKind.READ, None, run_id))
 
-    def make_current(self, site: SiteId) -> ProtocolRun:
+    def make_current(self, site: SiteId, *, run_id: int | None = None) -> ProtocolRun:
         """Start the Make_Current restart protocol at a recovered site."""
-        return self._submit(ProtocolRun(self, site, RunKind.MAKE_CURRENT))
+        return self._submit(ProtocolRun(self, site, RunKind.MAKE_CURRENT, None, run_id))
 
     def _submit(self, run: ProtocolRun) -> ProtocolRun:
         self._runs[run.run_id] = run
@@ -182,12 +197,35 @@ class ReplicaCluster:
         )
         if self.metrics.enabled:
             self.metrics.counter(f"netsim.run.submitted.{run.kind.value}").inc()
-        self.simulator.schedule(0.0, run.start)
+        self.schedule_timer(0.0, run.start, kind="start", run_id=run.run_id, site=run.site)
         return run
 
     # ------------------------------------------------------------------ #
     # Engine plumbing
     # ------------------------------------------------------------------ #
+
+    def schedule_timer(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        kind: str,
+        run_id: int | None = None,
+        site: SiteId | None = None,
+    ) -> EventHandle:
+        """Schedule a protocol timer (the checker's injection seam).
+
+        All control-flow timers (run start, lock timeout, vote window,
+        catch-up window, termination probe) go through here instead of
+        calling :meth:`Simulator.schedule` directly.  In stochastic runs
+        this simply forwards to the simulator; a controlled ``scheduler``
+        (see the constructor) instead records the timer as an explorable
+        action, keyed by ``kind``/``run_id``/``site`` so commuting firings
+        can be identified.
+        """
+        if self._scheduler is not None:
+            return self._scheduler(delay, action, kind=kind, run_id=run_id, site=site)
+        return self.simulator.schedule(delay, action)
 
     def deliver_to_coordinator(
         self, destination: SiteId, sender: SiteId, message: Message

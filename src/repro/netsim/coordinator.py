@@ -80,8 +80,9 @@ class ProtocolRun:
         site: SiteId,
         kind: RunKind,
         value: Any = None,
+        run_id: int | None = None,
     ) -> None:
-        self.run_id = next_run_id()
+        self.run_id = next_run_id() if run_id is None else run_id
         self.site = site
         self.kind = kind
         self.value = value
@@ -145,8 +146,12 @@ class ProtocolRun:
             site=self.site,
         )
         self._phase = _Phase.LOCKING
-        self._timer = self._cluster.simulator.schedule(
-            self._cluster.lock_timeout, self._lock_timed_out
+        self._timer = self._cluster.schedule_timer(
+            self._cluster.lock_timeout,
+            self._lock_timed_out,
+            kind="lock-timeout",
+            run_id=self.run_id,
+            site=self.site,
         )
         node.locks.request(self.run_id, self._lock_granted)
 
@@ -177,8 +182,12 @@ class ProtocolRun:
             network.send(
                 self.site, other, VoteRequest(self.run_id, self.site)
             )
-        self._timer = self._cluster.simulator.schedule(
-            self._cluster.vote_window, self._votes_closed
+        self._timer = self._cluster.schedule_timer(
+            self._cluster.vote_window,
+            self._votes_closed,
+            kind="vote-window",
+            run_id=self.run_id,
+            site=self.site,
         )
 
     # ------------------------------------------------------------------ #
@@ -251,8 +260,12 @@ class ProtocolRun:
         self._cluster.network.send(
             self.site, donors[0], CatchUpRequest(self.run_id, self.site)
         )
-        self._timer = self._cluster.simulator.schedule(
-            self._cluster.catch_up_window, self._catch_up_timed_out
+        self._timer = self._cluster.schedule_timer(
+            self._cluster.catch_up_window,
+            self._catch_up_timed_out,
+            kind="catch-up-window",
+            run_id=self.run_id,
+            site=self.site,
         )
 
     def _catch_up_timed_out(self) -> None:

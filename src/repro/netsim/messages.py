@@ -30,6 +30,7 @@ __all__ = [
     "DecisionRequest",
     "DecisionReply",
     "next_run_id",
+    "reset_run_ids",
 ]
 
 _run_counter = itertools.count(1)
@@ -38,6 +39,19 @@ _run_counter = itertools.count(1)
 def next_run_id() -> int:
     """A process-unique identifier for one protocol run."""
     return next(_run_counter)
+
+
+def reset_run_ids(start: int = 1) -> None:
+    """Rewind the run-id counter (model-checking / test seam).
+
+    The explicit-state checker (:mod:`repro.check`) replays schedules from
+    the initial configuration many times per exploration; run identifiers
+    must be a function of the schedule, not of how many clusters the
+    process has built so far, or state fingerprints would never match
+    across branches.  Production code never calls this.
+    """
+    global _run_counter
+    _run_counter = itertools.count(start)
 
 
 @dataclass(frozen=True, slots=True)

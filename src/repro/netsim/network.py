@@ -39,6 +39,7 @@ class MessageNetwork:
         latency: float = 0.01,
         observer: Callable[..., None] | None = None,
         metrics: MetricsRegistry | None = None,
+        transport: Callable[[SiteId, SiteId, Message], None] | None = None,
     ) -> None:
         if latency <= 0:
             raise NetworkError(f"latency must be positive: {latency}")
@@ -47,6 +48,7 @@ class MessageNetwork:
         self._latency = latency
         self._observer = observer
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._transport = transport
         self._handlers: dict[SiteId, Callable[[SiteId, Message], None]] = {}
         self._sent = 0
         self._delivered = 0
@@ -91,6 +93,9 @@ class MessageNetwork:
             self._metrics.counter(
                 f"netsim.message.sent.{type(message).__name__}"
             ).inc()
+        if self._transport is not None:
+            self._transport(source, destination, message)
+            return
         self._simulator.schedule(
             self._latency, lambda: self._deliver(source, destination, message)
         )
@@ -102,7 +107,22 @@ class MessageNetwork:
         for destination in destinations:
             self.send(source, destination, message_for(destination))
 
-    def _deliver(self, source: SiteId, destination: SiteId, message: Message) -> None:
+    def deliver_now(
+        self, source: SiteId, destination: SiteId, message: Message
+    ) -> str | None:
+        """Deliver (or lose) a message immediately; return the loss reason.
+
+        The deterministic checker's transport hook queues messages instead
+        of scheduling them, then calls this when its schedule says the
+        message arrives.  The loss decision is identical to the stochastic
+        path: both endpoints must be up and mutually reachable at delivery
+        time.  Returns ``None`` on delivery, else the loss reason.
+        """
+        return self._deliver(source, destination, message)
+
+    def _deliver(
+        self, source: SiteId, destination: SiteId, message: Message
+    ) -> str | None:
         lost_reason = None
         if not self._topology.is_up(source) or not self._topology.is_up(destination):
             lost_reason = "endpoint down"
@@ -129,11 +149,11 @@ class MessageNetwork:
                     run_id=message.run_id,
                     lost=lost_reason,
                 )
-            return
+            return lost_reason
         handler = self._handlers.get(destination)
         if handler is None:
             self._lost += 1
-            return
+            return "no handler"
         self._delivered += 1
         if self._metrics.enabled:
             self._metrics.counter(
@@ -151,3 +171,4 @@ class MessageNetwork:
                 run_id=message.run_id,
             )
         handler(source, message)
+        return None

@@ -23,6 +23,7 @@ As a subordinate (steps iii and viii of the protocol), a node:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -154,25 +155,29 @@ class Node:
     # ------------------------------------------------------------------ #
 
     def _on_vote_request(self, sender: SiteId, message: VoteRequest) -> None:
-        run_id = message.run_id
+        # A bound partial (not a closure) so deterministic drivers can
+        # inspect and replay queued lock-grant callbacks.
+        self.locks.request(
+            message.run_id,
+            functools.partial(self._vote_lock_granted, sender, message.run_id),
+        )
 
-        def granted() -> None:
-            self._in_doubt[run_id] = _InDoubt(
+    def _vote_lock_granted(self, sender: SiteId, run_id: int) -> None:
+        """Step iii: the local lock is ours -- reply with metadata, in doubt."""
+        self._in_doubt[run_id] = _InDoubt(
+            coordinator=sender,
+            span=self._cluster.spans.open(
+                "in-doubt",
+                self._cluster.simulator.now,
+                run_id=run_id,
+                site=self.site,
                 coordinator=sender,
-                span=self._cluster.spans.open(
-                    "in-doubt",
-                    self._cluster.simulator.now,
-                    run_id=run_id,
-                    site=self.site,
-                    coordinator=sender,
-                ),
-            )
-            self._schedule_termination_probe(run_id)
-            self._cluster.network.send(
-                self.site, sender, VoteReply(run_id, self.site, self.metadata)
-            )
-
-        self.locks.request(run_id, granted)
+            ),
+        )
+        self._schedule_termination_probe(run_id)
+        self._cluster.network.send(
+            self.site, sender, VoteReply(run_id, self.site, self.metadata)
+        )
 
     def _on_commit(self, message: CommitMessage) -> None:
         assert message.metadata is not None
@@ -207,8 +212,12 @@ class Node:
         record = self._in_doubt.get(run_id)
         if record is None:
             return
-        record.timer = self._cluster.simulator.schedule(
-            self._cluster.termination_timeout, lambda: self._probe(run_id)
+        record.timer = self._cluster.schedule_timer(
+            self._cluster.termination_timeout,
+            functools.partial(self._probe, run_id),
+            kind="termination-probe",
+            run_id=run_id,
+            site=self.site,
         )
 
     def _probe(self, run_id: int) -> None:
@@ -246,7 +255,11 @@ class Node:
     def _on_decision_reply(self, message: DecisionReply) -> None:
         if message.run_id not in self._in_doubt:
             return
-        if message.committed and self.site in message.participants:
+        in_partition = (
+            self.site in message.participants
+            or self._cluster.unsafe_disable_participants_guard
+        )
+        if message.committed and in_partition:
             # Only members of the update's partition P may install the
             # state: the committed metadata's SC counts exactly card(P),
             # and Theorem 1's mutual exclusion needs the current copies to

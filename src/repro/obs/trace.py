@@ -71,8 +71,10 @@ class TraceEvent:
 class TraceLog:
     """An append-only event log with filtering, rendering, and JSONL export."""
 
-    #: Categories produced by the cluster.
-    CATEGORIES = ("run", "topology", "message", "lock", "span")
+    #: Categories produced by the cluster (plus "check" for model-checker
+    #: schedule replays, which share this log so counterexample traces and
+    #: stochastic-run traces have one schema).
+    CATEGORIES = ("run", "topology", "message", "lock", "span", "check")
 
     def __init__(self, capacity: int = 100_000) -> None:
         self._events: list[TraceEvent] = []

@@ -1,0 +1,88 @@
+"""Counterexample minimization and the replayable JSONL format."""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    Explorer,
+    load_schedule,
+    minimize,
+    replay_schedule,
+    run_schedule,
+    schedule_to_jsonl,
+)
+from repro.check.harness import CheckHarness
+from repro.check.oracles import default_oracle_names
+from repro.errors import CheckError
+
+FORK_CONFIG = CheckConfig(
+    protocol="dynamic",
+    n_sites=3,
+    updates=1,
+    disable_participants_guard=True,
+)
+
+
+@pytest.fixture(scope="module")
+def fork_result():
+    result = Explorer(config=FORK_CONFIG, depth=8).run()
+    assert result.violation is not None
+    return result
+
+
+class TestMinimize:
+    def test_minimized_schedule_still_reproduces(self, fork_result):
+        schedule, violation = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        assert violation.oracle == "participants-only"
+        assert len(schedule) <= len(fork_result.schedule)
+        harness = CheckHarness(FORK_CONFIG)
+        assert (
+            run_schedule(harness, schedule, default_oracle_names())
+            is not None
+        )
+
+    def test_minimized_schedule_is_one_minimal(self, fork_result):
+        schedule, _ = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        harness = CheckHarness(FORK_CONFIG)
+        for drop in range(len(schedule)):
+            shorter = schedule[:drop] + schedule[drop + 1 :]
+            assert (
+                run_schedule(harness, shorter, default_oracle_names())
+                is None
+            ), f"dropping step {drop} still reproduces"
+
+    def test_non_reproducing_input_rejected(self):
+        with pytest.raises(CheckError):
+            minimize(FORK_CONFIG, (), default_oracle_names())
+
+
+class TestJsonlRoundTrip:
+    def test_serialize_load_replay(self, fork_result):
+        schedule, violation = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        document = schedule_to_jsonl(schedule, violation, FORK_CONFIG)
+        config, actions, loaded_violation = load_schedule(document)
+        assert config == FORK_CONFIG
+        assert tuple(actions) == tuple(schedule)
+        assert loaded_violation == violation
+        replayed, replay_config = replay_schedule(document)
+        assert replay_config == FORK_CONFIG
+        assert replayed is not None
+        assert replayed.oracle == violation.oracle
+
+    def test_document_is_valid_jsonl(self, fork_result):
+        import json
+
+        schedule, violation = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        document = schedule_to_jsonl(schedule, violation, FORK_CONFIG)
+        lines = [line for line in document.splitlines() if line]
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(schedule) + 2  # config + actions + verdict
+        assert all(r["category"] == "check" for r in records)

@@ -1,0 +1,64 @@
+"""The bounded explorer: deterministic counts, pruning, truncation."""
+
+from repro.check import CheckConfig, Explorer
+
+
+def explore(depth=8, **config_kwargs):
+    config_kwargs.setdefault("protocol", "dynamic")
+    config_kwargs.setdefault("n_sites", 3)
+    config_kwargs.setdefault("updates", 1)
+    return Explorer(config=CheckConfig(**config_kwargs), depth=depth).run()
+
+
+class TestDeterministicCounts:
+    def test_state_and_transition_counts_are_pinned(self):
+        # These exact numbers are the determinism contract: any change to
+        # the harness, the action alphabet, or the pruning machinery that
+        # shifts them is a semantic change and must be reviewed as such.
+        result = explore()
+        assert result.ok
+        assert result.violation is None
+        assert (result.states, result.transitions) == (384, 506)
+
+    def test_rerun_is_bit_identical(self):
+        first, second = explore(), explore()
+        assert first.to_dict() == second.to_dict()
+
+    def test_voting_and_dynamic_agree_without_faults(self):
+        # With no crashes or partitions the two protocols make identical
+        # quorum decisions, so the reachable graphs coincide.
+        dynamic = explore()
+        voting = explore(protocol="voting")
+        assert (voting.states, voting.transitions) == (
+            dynamic.states,
+            dynamic.transitions,
+        )
+
+
+class TestPruning:
+    def test_sleep_sets_and_cache_both_fire(self):
+        result = explore(updates=2, depth=6)
+        assert result.sleep_pruned > 0
+        assert result.cache_pruned > 0
+
+    def test_depth_bound_cuts_the_frontier(self):
+        shallow = explore(depth=4)
+        assert shallow.frontier_cutoffs > 0
+        assert shallow.states < explore().states
+
+
+class TestTruncation:
+    def test_max_states_flags_the_run(self):
+        result = Explorer(
+            config=CheckConfig(protocol="dynamic", n_sites=3, updates=1),
+            depth=8,
+            max_states=50,
+        ).run()
+        assert result.truncated
+        assert not result.ok
+        assert result.states <= 51
+
+    def test_faulty_configs_still_terminate(self):
+        result = explore(crashes=1, depth=6)
+        assert result.violation is None
+        assert result.states > 0

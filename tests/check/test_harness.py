@@ -1,0 +1,91 @@
+"""The schedule-controlled harness: determinism, replay, budgets."""
+
+import pytest
+
+from repro.check import CheckConfig, CheckHarness, CrashSite, RecoverSite, SubmitOp
+from repro.errors import CheckError
+
+
+def drive(harness, steps):
+    """Apply the first enabled action ``steps`` times; return the schedule."""
+    schedule = []
+    for _ in range(steps):
+        actions = harness.enabled_actions()
+        if not actions:
+            break
+        assert harness.apply(actions[0])
+        schedule.append(actions[0])
+    return schedule
+
+
+class TestConfig:
+    def test_workload_is_deterministic_round_robin(self):
+        config = CheckConfig(protocol="dynamic", n_sites=3, updates=4)
+        assert config.workload() == (
+            ("A", "u1"),
+            ("B", "u2"),
+            ("C", "u3"),
+            ("A", "u4"),
+        )
+
+    def test_invalid_site_count_rejected(self):
+        with pytest.raises(CheckError):
+            CheckConfig(protocol="dynamic", n_sites=1)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(CheckError):
+            CheckConfig(protocol="no-such-protocol")
+
+
+class TestDeterminism:
+    def test_reset_reproduces_the_initial_snapshot(self):
+        harness = CheckHarness(CheckConfig(protocol="dynamic", n_sites=3))
+        first = harness.snapshot()
+        drive(harness, 5)
+        harness.reset()
+        assert harness.snapshot() == first
+
+    def test_replay_reaches_an_identical_snapshot(self):
+        config = CheckConfig(protocol="dynamic", n_sites=3, updates=2)
+        harness = CheckHarness(config)
+        schedule = drive(harness, 7)
+        end = harness.snapshot()
+        harness.replay(schedule)
+        assert harness.snapshot() == end
+        assert harness.snapshot().digest() == end.digest()
+
+    def test_enabled_actions_order_is_stable(self):
+        config = CheckConfig(protocol="dynamic", n_sites=3, updates=2)
+        one, two = CheckHarness(config), CheckHarness(config)
+        for _ in range(6):
+            a, b = one.enabled_actions(), two.enabled_actions()
+            assert a == b
+            if not a:
+                break
+            assert one.apply(a[0]) and two.apply(b[0])
+
+
+class TestApply:
+    def test_non_enabled_action_is_rejected_not_crashed(self):
+        harness = CheckHarness(CheckConfig(protocol="dynamic", n_sites=3))
+        # No crash budget: CrashSite is never enabled.
+        assert not harness.apply(CrashSite(site="A"))
+
+    def test_submit_consumed_once(self):
+        harness = CheckHarness(
+            CheckConfig(protocol="dynamic", n_sites=3, updates=1)
+        )
+        op = SubmitOp(index=0, site="A")
+        assert harness.apply(op)
+        assert not harness.apply(op)
+
+    def test_crash_and_recover_budgets(self):
+        harness = CheckHarness(
+            CheckConfig(
+                protocol="dynamic", n_sites=3, crashes=1, recoveries=1
+            )
+        )
+        assert harness.apply(CrashSite(site="B"))
+        assert not harness.apply(CrashSite(site="C"))  # budget exhausted
+        assert harness.apply(RecoverSite(site="B"))
+        assert not harness.apply(RecoverSite(site="B"))

@@ -1,0 +1,65 @@
+"""The invariant oracle catalog."""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    CheckHarness,
+    Explorer,
+    check_oracles,
+    default_oracle_names,
+)
+from repro.check.oracles import ORACLES
+from repro.errors import CheckError
+
+
+class TestCatalog:
+    def test_default_names_cover_the_catalog(self):
+        assert set(default_oracle_names()) == set(ORACLES)
+        assert "no-fork" in ORACLES
+        assert "participants-only" in ORACLES
+
+    def test_unknown_oracle_name_raises(self):
+        harness = CheckHarness(CheckConfig(protocol="dynamic", n_sites=3))
+        snapshot = harness.snapshot()
+        with pytest.raises(CheckError):
+            check_oracles(("no-such-oracle",), harness, snapshot, None)
+
+    def test_initial_state_satisfies_every_oracle(self):
+        harness = CheckHarness(CheckConfig(protocol="dynamic", n_sites=3))
+        snapshot = harness.snapshot()
+        violation = check_oracles(
+            default_oracle_names(), harness, snapshot, None
+        )
+        assert violation is None
+
+
+class TestForkDetection:
+    def test_guard_disabled_violates_participants_only(self):
+        result = Explorer(
+            config=CheckConfig(
+                protocol="dynamic",
+                n_sites=3,
+                updates=1,
+                disable_participants_guard=True,
+            ),
+            depth=8,
+        ).run()
+        assert result.violation is not None
+        assert result.violation.oracle == "participants-only"
+        assert "excludes" in result.violation.detail
+
+    def test_single_oracle_selection_respected(self):
+        # With only vn-monotone selected, the seeded fork bug's
+        # participants-only violation goes unnoticed.
+        result = Explorer(
+            config=CheckConfig(
+                protocol="dynamic",
+                n_sites=3,
+                updates=1,
+                disable_participants_guard=True,
+            ),
+            depth=8,
+            oracles=("vn-monotone",),
+        ).run()
+        assert result.violation is None

@@ -1,0 +1,62 @@
+"""Registry and runner edge cases: identity, crash-safety, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.findings import Severity
+from repro.lint.registry import FileRule, all_rules, register
+from repro.lint.runner import lint_paths
+
+
+class TestRegistry:
+    def test_rule_codes_unique_and_self_consistent(self):
+        rules = all_rules()
+        codes = [rule.code for rule in rules.values()]
+        assert len(codes) == len(set(codes))
+        for code, rule in rules.items():
+            assert rule.code == code
+            assert code.startswith("REP") and code[3:].isdigit()
+            assert isinstance(rule.severity, Severity)
+
+    def test_registering_a_duplicate_code_is_rejected(self):
+        all_rules()  # ensure the built-in set is loaded first
+
+        with pytest.raises(ValueError, match="duplicate rule code"):
+
+            @register
+            class Impostor(FileRule):  # pragma: no cover - never runs
+                code = "REP001"
+                name = "impostor"
+
+    def test_registering_a_codeless_rule_is_rejected(self):
+        with pytest.raises(ValueError, match="has no code"):
+
+            @register
+            class Nameless(FileRule):  # pragma: no cover - never runs
+                pass
+
+
+class TestRunnerEdges:
+    def test_unparsable_file_yields_rep000_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        result = lint_paths([str(tmp_path)])
+        assert [f.rule for f in result.new] == ["REP000"]
+        assert result.exit_code == 1
+
+    def test_json_report_is_deterministic_and_ordered(self, tmp_path):
+        # Findings across several files must come out sorted by path and
+        # line regardless of filesystem enumeration order.
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import time\nimport random\n")
+        first = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        second = lint_paths([str(tmp_path)], select=frozenset({"REP001"}))
+        assert first.render_json() == second.render_json()
+        ordered = [(f.rel_path, f.line) for f in first.new]
+        assert ordered == sorted(ordered)
+
+    def test_empty_directory_lints_clean(self, tmp_path):
+        result = lint_paths([str(tmp_path)])
+        assert result.files == 0
+        assert result.new == []
+        assert result.exit_code == 0

@@ -550,3 +550,244 @@ class TestRep008NoCrossLayerImports:
             rel="repro/cli.py",
         )
         assert result.new == []
+
+
+class TestRep009NetsimHandlerPurity:
+    def test_wall_clock_reached_through_callback_partial(self, lint_snippet):
+        # The clock read hides two hops away, behind a functools.partial
+        # reference -- only a call-graph walk finds it.
+        result = lint_snippet(
+            """
+            import functools
+            import time
+
+            class Node:
+                def receive(self, message):
+                    self.locks.request(
+                        message.run_id,
+                        functools.partial(self._granted, message),
+                    )
+
+                def _granted(self, message):
+                    self._stamp()
+
+                def _stamp(self):
+                    self.last = time.time()
+            """,
+            "REP009",
+        )
+        assert rules_of(result) == ["REP009"]
+        assert "time.time()" in result.new[0].message
+        assert "Node.receive -> " in result.new[0].message
+
+    def test_unreachable_impurity_not_flagged(self, lint_snippet):
+        # Impure code that no handler can reach is REP002's business
+        # (per file), not REP009's.
+        result = lint_snippet(
+            """
+            import time
+
+            class Node:
+                def receive(self, message):
+                    self.log.append(message)
+
+            def offline_report():
+                return time.time()
+            """,
+            "REP009",
+        )
+        assert result.new == []
+
+    def test_peer_mutation_and_global_rng_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import random
+
+            class Node:
+                def receive(self, message):
+                    peer = self._cluster._nodes[message.sender]
+                    peer.receive(message)
+                    jitter = random.random()
+            """,
+            "REP009",
+        )
+        assert sorted(rules_of(result)) == ["REP009", "REP009", "REP009"]
+        messages = "\n".join(f.message for f in result.new)
+        assert "_nodes[...]" in messages
+        assert ".receive(...)" in messages
+        assert "global RNG" in messages
+
+    def test_cluster_and_network_modules_exempt_from_transport_checks(
+        self, lint_tree
+    ):
+        # The transport layer's own delivery code is the sanctioned place
+        # for _nodes subscripts and .receive calls.
+        result = lint_tree(
+            {
+                "repro/netsim/cluster.py": """
+                    class ReplicaCluster:
+                        def deliver_to_coordinator(self, run_id, message):
+                            node = self._nodes[message.sender]
+                            node.receive(message)
+                """,
+            },
+            "REP009",
+        )
+        assert result.new == []
+
+    def test_raw_simulator_schedule_in_handler_chain_flagged(
+        self, lint_tree
+    ):
+        result = lint_tree(
+            {
+                "repro/netsim/node.py": """
+                    class Node:
+                        def receive(self, message):
+                            self._cluster.simulator.schedule(
+                                1.0, lambda: None
+                            )
+                """,
+            },
+            "REP009",
+        )
+        assert rules_of(result) == ["REP009"]
+        assert "schedule_timer seam" in result.new[0].message
+
+    def test_local_variable_sharing_a_method_name_is_not_an_edge(
+        self, lint_snippet
+    ):
+        # `run` here is a local variable; it must not fabricate an edge
+        # to the unrelated method Driver.run.
+        result = lint_snippet(
+            """
+            import time
+
+            class Node:
+                def receive(self, message):
+                    run = self.active[message.run_id]
+                    run.note(message)
+
+            class Driver:
+                def run(self):
+                    return time.time()
+            """,
+            "REP009",
+        )
+        assert result.new == []
+
+
+class TestRep010SeedTaint:
+    def test_literal_seed_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng(42)
+            """,
+            "REP010",
+        )
+        assert rules_of(result) == ["REP010"]
+        assert "not derived from derive_seed" in result.new[0].message
+
+    def test_unseeded_constructor_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()
+            """,
+            "REP010",
+        )
+        assert rules_of(result) == ["REP010"]
+        assert "unseeded" in result.new[0].message
+
+    def test_direct_derive_seed_clean(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import random
+
+            from repro.sim.rng import derive_seed
+
+            def stream(master, name):
+                return random.Random(derive_seed(master, name))
+            """,
+            "REP010",
+        )
+        assert result.new == []
+
+    def test_taint_flows_through_local_assignment(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import numpy as np
+
+            from repro.sim.rng import derive_seed
+
+            def generator(master, name):
+                key = derive_seed(master, name)
+                return np.random.Generator(np.random.Philox(key=key))
+            """,
+            "REP010",
+        )
+        assert result.new == []
+
+    def test_taint_flows_one_call_level(self, lint_tree):
+        # make()'s seed parameter is tainted because every call site in
+        # the project passes a derive_seed value.
+        result = lint_tree(
+            {
+                "factory.py": """
+                    import random
+
+                    def make(seed):
+                        return random.Random(seed)
+                """,
+                "caller.py": """
+                    from repro.sim.rng import derive_seed
+
+                    from .factory import make
+
+                    def streams(master):
+                        return make(derive_seed(master, "events"))
+                """,
+            },
+            "REP010",
+        )
+        assert result.new == []
+
+    def test_untainted_call_site_breaks_the_chain(self, lint_tree):
+        result = lint_tree(
+            {
+                "factory.py": """
+                    import random
+
+                    def make(seed):
+                        return random.Random(seed)
+                """,
+                "caller.py": """
+                    from repro.sim.rng import derive_seed
+
+                    from .factory import make
+
+                    def streams(master):
+                        good = make(derive_seed(master, "events"))
+                        bad = make(1234)
+                        return good, bad
+                """,
+            },
+            "REP010",
+        )
+        assert rules_of(result) == ["REP010"]
+
+    def test_reseeding_call_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """
+            import random
+
+            def reset(rng):
+                rng.seed(0)
+            """,
+            "REP010",
+        )
+        assert rules_of(result) == ["REP010"]

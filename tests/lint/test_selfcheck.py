@@ -44,7 +44,18 @@ def test_baseline_entries_still_exist(source_result):
 
 def test_every_rule_documented_and_identified():
     rules = all_rules()
-    assert set(rules) == {f"REP00{i}" for i in range(1, 9)}
+    assert set(rules) == {
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP006",
+        "REP007",
+        "REP008",
+        "REP009",
+        "REP010",
+    }
     for code, rule in rules.items():
         assert rule.code == code
         assert rule.name and rule.description and rule.rationale

@@ -190,6 +190,67 @@ class TestLintCommand:
         assert "0 new finding(s)" in capsys.readouterr().out
 
 
+class TestCheckCommand:
+    def test_clean_exploration_exits_zero(self, capsys):
+        code = main(
+            ["check", "--protocol", "dynamic", "--updates", "1", "--depth", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no invariant violations" in out
+        assert "384 states" in out
+
+    def test_json_report_shape(self, capsys):
+        code = main(
+            [
+                "check",
+                "--protocol",
+                "dynamic",
+                "--updates",
+                "1",
+                "--depth",
+                "8",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        (result,) = report["results"]
+        assert result["protocol"] == "dynamic"
+        assert result["states"] == 384
+        assert result["violation"] is None
+
+    def test_fork_bug_injection_fails_with_replayable_counterexample(
+        self, tmp_path, capsys
+    ):
+        artifact = tmp_path / "fork.jsonl"
+        code = main(
+            [
+                "check",
+                "--protocol",
+                "dynamic",
+                "--updates",
+                "1",
+                "--depth",
+                "8",
+                "--inject-fork-bug",
+                "--counterexample",
+                str(artifact),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "participants-only" in out
+        assert artifact.exists()
+        capsys.readouterr()
+        assert main(["check", "--replay", str(artifact)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_unknown_protocol_is_a_usage_error(self, capsys):
+        assert main(["check", "--protocol", "nope"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+
 class TestArtifactCommand:
     def test_artifact_written(self, tmp_path, capsys):
         from repro.cli import main
