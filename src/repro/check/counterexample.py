@@ -106,7 +106,17 @@ def schedule_to_jsonl(
     violation: Violation,
     config: CheckConfig,
 ) -> str:
-    """Serialize a counterexample as JSONL trace events (category check)."""
+    """Serialize a counterexample as JSONL trace events (category check).
+
+    The file carries two layers in one document: the replayable
+    ``check``-category schedule (config, one event per action, the
+    violation), plus the full ``causal``-category DAG obtained by
+    replaying the schedule on a causal-enabled harness.  The same
+    :mod:`repro.obs.query` tooling (``repro trace assert``,
+    ``repro trace critical-path``) therefore works on counterexamples
+    and on stochastic-run telemetry alike; :func:`load_schedule` simply
+    skips the causal lines.
+    """
     log = TraceLog()
     log.record(
         0.0,
@@ -134,6 +144,13 @@ def schedule_to_jsonl(
         oracle=violation.oracle,
         detail=violation.detail,
     )
+    replay = CheckHarness(config, causal=True)
+    replay.replay(list(schedule))
+    if replay.cluster.trace_log is not None:
+        for event in replay.cluster.trace_log.category("causal"):
+            log.record(
+                event.time, event.category, event.description, **dict(event.fields)
+            )
     return log.to_jsonl() + "\n"
 
 

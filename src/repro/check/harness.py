@@ -136,10 +136,18 @@ class _Pending:
 
 
 class CheckHarness:
-    """A cluster plus schedule controls; applies actions atomically."""
+    """A cluster plus schedule controls; applies actions atomically.
 
-    def __init__(self, config: CheckConfig) -> None:
+    ``causal=True`` turns on causal tracing in the underlying cluster so a
+    replayed schedule leaves a full causal DAG in ``cluster.trace_log``
+    (used by counterexample export -- model-checker output and telemetry
+    share one trace format).  Tracing never affects snapshots: the ``ctx``
+    stamped on messages is excluded from :func:`~repro.check.state.message_key`.
+    """
+
+    def __init__(self, config: CheckConfig, *, causal: bool = False) -> None:
         self.config = config
+        self._causal = causal
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -162,6 +170,7 @@ class CheckHarness:
             initial_value=self.config.initial_value,
             transport=self._transport,
             scheduler=self._schedule,
+            causal=self._causal,
         )
         self.cluster.unsafe_disable_participants_guard = (
             self.config.disable_participants_guard

@@ -55,16 +55,17 @@ def message_key(
     """Canonical encoding of one in-flight message (envelope + payload).
 
     The payload part walks the message's dataclass fields (beyond the
-    ``run_id``/``sender`` envelope) and renders them as one ``repr``
-    string, so keys for *different* message types still sort against each
-    other (every component is a primitive).  Two messages encode equal
-    exactly when they are equal values.
+    ``run_id``/``sender`` envelope and the observability-only ``ctx``
+    causal context, which never affects protocol behaviour) and renders
+    them as one ``repr`` string, so keys for *different* message types
+    still sort against each other (every component is a primitive).  Two
+    messages encode equal exactly when they are equal values.
     """
     payload = repr(
         tuple(
             (name, _field_key(getattr(message, name)))
             for name in sorted(f.name for f in dataclasses.fields(message))
-            if name not in ("run_id", "sender")
+            if name not in ("run_id", "sender", "ctx")
         )
     )
     return (

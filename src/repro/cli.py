@@ -13,12 +13,17 @@ Subcommands map to the experiment index of DESIGN.md::
     repro lint src/repro                # replint static analysis
     repro check --quick                 # explicit-state model checking
     repro trace --protocol hybrid -n 3  # message-level protocol trace
+    repro trace causal -n 3 --jsonl     # causal-DAG export
+    repro trace critical-path -n 3      # per-phase commit latency
+    repro trace assert --input ce.jsonl # happens-before assertion catalog
     repro validate-manifest out.json    # check a run manifest's schema
 
 Observability: ``simulate`` and ``compare`` accept ``--metrics`` (print
 the metric registry) and ``--manifest PATH`` (write a machine-readable
 run manifest, docs/OBSERVABILITY.md); ``trace --jsonl`` emits the
-structured event log one JSON object per line.
+structured event log one JSON object per line, and the ``trace`` causal
+modes reconstruct the operation DAG from that export alone
+(docs/OBSERVABILITY.md, "Causal tracing & SLOs").
 """
 
 from __future__ import annotations
@@ -46,10 +51,14 @@ from .check import runner as check_runner
 from .errors import BenchError
 from .lint import runner as lint_runner
 from .obs import (
+    CausalDag,
     MetricsRegistry,
     RunManifest,
     SpanProfiler,
     Stopwatch,
+    assertion_names,
+    check_assertions,
+    operation_stats,
     profiling,
     use,
 )
@@ -74,7 +83,7 @@ from .markov import (
     transient_availability,
 )
 from .core import make_protocol
-from .netsim import ReplicaCluster
+from .netsim import ReplicaCluster, reset_run_ids
 from .obs.trace import TraceLog
 from .sim import estimate_availability, figure1_scenario, paper_protocols
 from .types import site_names
@@ -204,8 +213,22 @@ def build_parser() -> argparse.ArgumentParser:
             "Runs a fixed, deterministic netsim workload (update; fail the "
             "last site; update under failure; repair and restart; read) and "
             "prints the structured trace.  With --jsonl every event is one "
-            "JSON object per line for machine consumption."
+            "JSON object per line for machine consumption.  The optional "
+            "mode switches to the causal-trace toolchain "
+            "(docs/OBSERVABILITY.md): `causal` exports the causally-"
+            "parented event DAG, `critical-path` reconstructs each "
+            "committed operation's submit->commit path with a per-phase "
+            "sim-time breakdown, and `assert` runs the happens-before "
+            "assertion catalog (exit 1 with the offending edges on "
+            "violation).  All three read an existing export via --input "
+            "FILE -- including `repro check --counterexample` files -- or "
+            "trace the scripted workload when --input is omitted."
         ),
+    )
+    p.add_argument(
+        "mode", nargs="?", default=None,
+        choices=("causal", "critical-path", "assert"),
+        help="causal-trace mode (omit for the classic rendered trace)",
     )
     p.add_argument("--protocol", default="hybrid")
     p.add_argument("-n", "--sites", type=int, default=3)
@@ -215,7 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--categories", nargs="+", default=None,
         metavar="CAT",
         help="restrict output to these event categories "
-             "(run, topology, message, lock, span)",
+             "(run, topology, message, lock, span, causal)",
+    )
+    p.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="read a causal JSONL export instead of running the scripted "
+             "workload (causal-trace modes only)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed keying the deterministic causal trace ids (default 0)",
     )
 
     p = sub.add_parser(
@@ -324,16 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
 _COMPARE_PROTOCOLS = ("voting", "dynamic", "dynamic-linear", "hybrid")
 
 
-def _scripted_trace(protocol: str, n_sites: int) -> TraceLog:
-    """The fixed workload behind ``repro trace``.
+def _scripted_workload(
+    protocol: str,
+    n_sites: int,
+    *,
+    trace: bool = False,
+    causal: bool = False,
+    seed: int = 0,
+) -> ReplicaCluster:
+    """Run the fixed ``repro trace`` workload; returns the settled cluster.
 
     Deterministic by construction (the message network is driven by
     simulated time only): update; fail the highest-named site; update
-    under failure; repair and restart; read.
+    under failure; repair and restart; read.  The tracing knobs are
+    passed through so the same workload serves the rendered trace, the
+    causal-trace modes, and the causal-overhead bench scenario.
     """
     sites = site_names(n_sites)
     cluster = ReplicaCluster(
-        make_protocol(protocol, sites), initial_value="v0", trace=True
+        make_protocol(protocol, sites),
+        initial_value="v0",
+        trace=trace,
+        causal=causal,
+        causal_seed=seed,
     )
     cluster.submit_update(sites[0], "v1")
     cluster.settle()
@@ -344,9 +389,105 @@ def _scripted_trace(protocol: str, n_sites: int) -> TraceLog:
     cluster.settle()
     cluster.submit_read(sites[min(1, n_sites - 1)])
     cluster.settle()
+    return cluster
+
+
+def _scripted_trace(
+    protocol: str, n_sites: int, *, causal: bool = False, seed: int = 0
+) -> TraceLog:
+    """The trace log of one scripted workload (``trace=True`` always)."""
+    cluster = _scripted_workload(
+        protocol, n_sites, trace=True, causal=causal, seed=seed
+    )
     log = cluster.trace_log
     assert log is not None  # trace=True above
     return log
+
+
+def _causal_jsonl(args: argparse.Namespace) -> str:
+    """The causal JSONL text a trace mode operates on.
+
+    ``--input`` reads an existing export (netsim telemetry or a
+    ``repro check`` counterexample -- one shared format); otherwise the
+    scripted workload runs with causal tracing on and its export is used.
+    Either way downstream queries see *only* the JSONL, proving the DAG
+    is reconstructible from the export alone.
+    """
+    if args.input is not None:
+        return Path(args.input).read_text(encoding="utf-8")
+    # Rewind the process-wide run-id counter so same-seed exports are
+    # byte-identical however many traces ran before in this process.
+    reset_run_ids()
+    log = _scripted_trace(
+        args.protocol, args.sites, causal=True, seed=args.seed
+    )
+    return log.to_jsonl()
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` and its causal-trace modes."""
+    if args.mode is None:
+        log = _scripted_trace(args.protocol, args.sites)
+        categories = tuple(args.categories) if args.categories else None
+        if args.jsonl:
+            for line in log.iter_jsonl(categories):
+                print(line)
+        else:
+            print(log.render(categories))
+        return 0
+    text = _causal_jsonl(args)
+    dag = CausalDag.from_jsonl(text)
+    if args.mode == "causal":
+        if args.jsonl:
+            for line in text.splitlines():
+                if line.strip() and json.loads(line).get("category") == "causal":
+                    print(line)
+            return 0
+        for trace_id in dag.traces():
+            events = dag.trace_events(trace_id)
+            root = events[0]
+            title = root.field("op") or root.kind
+            print(f"trace {trace_id} run={root.run_id} {title}:")
+            for event in events:
+                parents = ", ".join(event.parents) or "-"
+                print(
+                    f"  t={event.time:8.4f} L={event.lamport:<3d} "
+                    f"{event.event_id}  {event.kind:<18} "
+                    f"site={event.site or '-':<4} <- {parents}"
+                )
+        return 0
+    if args.mode == "critical-path":
+        stats = {row.trace_id: row for row in operation_stats(dag)}
+        commits = dag.find("commit")
+        if not commits:
+            print("no committed operations in the causal trace")
+            return 0
+        for commit in commits:
+            finishes = dag.find("finish", trace_id=commit.trace_id)
+            target = finishes[-1] if finishes else commit
+            path = dag.critical_path(target.event_id)
+            row = stats.get(commit.trace_id)
+            kind = row.kind if row is not None else "?"
+            print(
+                f"run {commit.run_id} ({kind}) committed "
+                f"version {commit.field('version')}: "
+                f"latency {path.total:.4f}"
+            )
+            print(path.render())
+        return 0
+    # args.mode == "assert"
+    failures = check_assertions(dag)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure.describe()}")
+        print(f"{len(failures)} causal assertion(s) violated", file=sys.stderr)
+        return 1
+    print(
+        f"causal trace clean: {len(dag.events)} events, "
+        f"{len(dag.traces())} traces, "
+        f"{len(assertion_names())} assertions checked"
+    )
+    return 0
 
 
 #: Subcommands `repro profile` may wrap: the workloads worth attributing.
@@ -528,6 +669,48 @@ def _perf_suite_records(seed: int, quick: bool) -> list[BenchRecord]:
         )
     )
     clear_symbolic_cache()
+    rounds, reps = (6, 2) if quick else (30, 3)
+
+    def _causal_overhead(registry: MetricsRegistry) -> dict[str, float]:
+        """Min-of-reps wall time of the scripted netsim workload per mode."""
+
+        def batch(trace: bool, causal: bool) -> float:
+            best = float("inf")
+            for _ in range(reps):
+                stopwatch = Stopwatch()
+                for _ in range(rounds):
+                    _scripted_workload(
+                        "hybrid", 5, trace=trace, causal=causal, seed=seed
+                    )
+                best = min(best, stopwatch.seconds)
+            return best
+
+        return {
+            "off": batch(False, False),
+            "trace": batch(True, False),
+            "causal": batch(True, True),
+        }
+
+    records.append(
+        _perf_scenario(
+            "perf",
+            "netsim.causal.overhead.n5",
+            seed=seed,
+            params={
+                "protocol": "hybrid",
+                "n_sites": 5,
+                "rounds": rounds,
+                "reps": reps,
+            },
+            run=_causal_overhead,
+            timings_from=lambda result, seconds: {
+                "netsim_off_s": result["off"],
+                "netsim_trace_s": result["trace"],
+                "netsim_causal_s": result["causal"],
+                "causal_overhead_ratio": result["causal"] / result["trace"],
+            },
+        )
+    )
     return records
 
 
@@ -705,14 +888,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"wrote manifest {path}", file=sys.stderr)
         return 0 if result.agrees_with(analytic) else 1
     if args.command == "trace":
-        log = _scripted_trace(args.protocol, args.sites)
-        categories = tuple(args.categories) if args.categories else None
-        if args.jsonl:
-            for line in log.iter_jsonl(categories):
-                print(line)
-        else:
-            print(log.render(categories))
-        return 0
+        return _run_trace(args)
     if args.command == "validate-manifest":
         return obs_manifest.main(args.paths)
     if args.command == "crossover":

@@ -24,10 +24,10 @@ from .messages import (
     next_run_id,
     reset_run_ids,
 )
+from ..obs.trace import TraceEvent, TraceLog
 from .network import MessageNetwork
 from .node import AppliedUpdate, Node
 from .stochastic import ClusterModelDriver, ProbeStatistics
-from .trace import TraceEvent, TraceLog
 
 __all__ = [
     "ReplicaCluster",

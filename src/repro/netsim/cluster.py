@@ -19,6 +19,12 @@ from typing import Any
 
 from ..core.base import ReplicaControlProtocol
 from ..errors import SimulationError
+from ..obs.causal import (
+    NULL_CAUSAL,
+    TIMER_PHASES,
+    CausalTracer,
+    NullCausalTracer,
+)
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..obs.spans import NULL_TRACKER, SpanTracker
 from ..obs.trace import TraceLog
@@ -58,6 +64,13 @@ class ReplicaCluster:
         ``netsim.*`` names documented in docs/OBSERVABILITY.md.  When
         omitted the shared disabled registry is used and the hot paths
         skip recording entirely.
+    causal:
+        When True, every submitted operation mints a causal trace context
+        and the cluster emits the causally-parented ``causal`` events of
+        :mod:`repro.obs.causal` into the trace log (created on demand if
+        ``trace`` is off), keyed by ``causal_seed`` for deterministic
+        trace ids.  When False the shared null tracer is used and the hot
+        paths pay a single attribute check.
     """
 
     def __init__(
@@ -75,16 +88,24 @@ class ReplicaCluster:
         metrics: MetricsRegistry | None = None,
         transport: Callable[[SiteId, SiteId, Message], None] | None = None,
         scheduler: Callable[..., EventHandle] | None = None,
+        causal: bool = False,
+        causal_seed: int = 0,
     ) -> None:
         self.protocol = protocol
         self.simulator = Simulator()
         self.topology = Topology(sorted(protocol.sites), links)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
-        self.trace_log: TraceLog | None = TraceLog() if trace else None
+        self.trace_log: TraceLog | None = TraceLog() if (trace or causal) else None
         if trace or self.metrics.enabled:
             self.spans = SpanTracker(self.trace_log, self.metrics)
         else:
             self.spans = NULL_TRACKER
+        self.causal: CausalTracer | NullCausalTracer
+        if causal:
+            assert self.trace_log is not None
+            self.causal = CausalTracer(self.trace_log, causal_seed)
+        else:
+            self.causal = NULL_CAUSAL
         self.network = MessageNetwork(
             self.simulator,
             self.topology,
@@ -92,6 +113,7 @@ class ReplicaCluster:
             observer=self.trace_log.record if trace else None,
             metrics=self.metrics,
             transport=transport,
+            causal=self.causal,
         )
         self._scheduler = scheduler
         # Test/model-checking seam: when True, subordinates skip the
@@ -197,7 +219,19 @@ class ReplicaCluster:
         )
         if self.metrics.enabled:
             self.metrics.counter(f"netsim.run.submitted.{run.kind.value}").inc()
-        self.schedule_timer(0.0, run.start, kind="start", run_id=run.run_id, site=run.site)
+        start = run.start
+        if self.causal.enabled:
+            run.ctx = self.causal.begin(
+                f"op:{run.run_id}",
+                "submit",
+                self.simulator.now,
+                site=run.site,
+                run_id=run.run_id,
+                op=run.kind.value,
+                phase="submit",
+            )
+            start = self.causal.scoped(run.start, run.ctx)
+        self.schedule_timer(0.0, start, kind="start", run_id=run.run_id, site=run.site)
         return run
 
     # ------------------------------------------------------------------ #
@@ -222,7 +256,40 @@ class ReplicaCluster:
         (see the constructor) instead records the timer as an explorable
         action, keyed by ``kind``/``run_id``/``site`` so commuting firings
         can be identified.
+
+        With causal tracing on, arming a (non-``start``) timer emits a
+        ``timer-set`` event parented on the current context, and the
+        action is wrapped so its firing emits ``timer-fire`` parented on
+        the set -- timer-driven transitions (vote window closing, probes)
+        stay connected to the operation's DAG.  ``start`` timers need no
+        wrapping: :meth:`_submit` scopes them to the root context.
         """
+        if self.causal.enabled and kind != "start":
+            set_ctx = self.causal.emit(
+                "timer-set",
+                self.simulator.now,
+                parents=(self.causal.current,),
+                site=site,
+                run_id=run_id,
+                timer=kind,
+                phase=TIMER_PHASES.get(kind, "timer"),
+            )
+            inner = action
+
+            def fire_traced() -> None:
+                fire_ctx = self.causal.emit(
+                    "timer-fire",
+                    self.simulator.now,
+                    parents=(set_ctx,),
+                    site=site,
+                    run_id=run_id,
+                    timer=kind,
+                    phase=TIMER_PHASES.get(kind, "timer"),
+                )
+                with self.causal.scope(fire_ctx):
+                    inner()
+
+            action = fire_traced
         if self._scheduler is not None:
             return self._scheduler(delay, action, kind=kind, run_id=run_id, site=site)
         return self.simulator.schedule(delay, action)
@@ -280,6 +347,24 @@ class ReplicaCluster:
             self.metrics.counter(f"netsim.run.{run.status.value}").inc()
             if run.latency is not None:
                 self.metrics.histogram("netsim.run.latency").observe(run.latency)
+            if run.kind is RunKind.UPDATE:
+                # Operation-level SLO accounting: update submissions either
+                # commit (op.commit.latency) or count against the abort
+                # rate -- the distributions the availability-planner SLOs
+                # consume (docs/OBSERVABILITY.md).
+                if run.status is RunStatus.COMMITTED:
+                    self.metrics.counter("op.committed").inc()
+                    if run.latency is not None:
+                        self.metrics.histogram("op.commit.latency").observe(
+                            run.latency
+                        )
+                else:
+                    self.metrics.counter("op.aborted").inc()
+                committed = self.metrics.counter("op.committed").value
+                aborted = self.metrics.counter("op.aborted").value
+                self.metrics.gauge("op.abort.rate").set(
+                    aborted / (committed + aborted)
+                )
 
     def run_for(self, duration: float) -> None:
         """Advance simulated time by ``duration``."""

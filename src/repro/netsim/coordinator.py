@@ -39,6 +39,7 @@ from .messages import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.causal import CausalContext
     from .cluster import ReplicaCluster
 
 __all__ = ["RunKind", "RunStatus", "ProtocolRun"]
@@ -99,6 +100,11 @@ class ProtocolRun:
         self.finished_at: float | None = None
         self._span = None
         self._phase_span = None
+        # Causal tracing: the run's latest own event (starts as the root
+        # "submit" context minted by the cluster) and each voter's "vote"
+        # event, joined into the votes-closed decision point.
+        self.ctx: "CausalContext | None" = None
+        self._vote_ctxs: dict[SiteId, "CausalContext"] = {}
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -172,23 +178,36 @@ class ProtocolRun:
             parent=self._span,
             run_id=self.run_id,
         )
-        network = self._cluster.network
-        subordinates = sorted(self._cluster.topology.sites - {self.site})
-        if self._cluster.metrics.enabled:
-            self._cluster.metrics.counter("netsim.votes.requested").inc(
-                len(subordinates)
+        causal = self._cluster.causal
+        if causal.enabled:
+            # self.ctx is the run's root; the current context adds the
+            # cross-trace lock-handoff edge when the grant was deferred.
+            self.ctx = causal.emit(
+                "lock-granted",
+                self._cluster.simulator.now,
+                parents=(self.ctx, causal.current),
+                site=self.site,
+                run_id=self.run_id,
+                phase="lock",
             )
-        for other in subordinates:
-            network.send(
-                self.site, other, VoteRequest(self.run_id, self.site)
+        with causal.scope(self.ctx):
+            network = self._cluster.network
+            subordinates = sorted(self._cluster.topology.sites - {self.site})
+            if self._cluster.metrics.enabled:
+                self._cluster.metrics.counter("netsim.votes.requested").inc(
+                    len(subordinates)
+                )
+            for other in subordinates:
+                network.send(
+                    self.site, other, VoteRequest(self.run_id, self.site)
+                )
+            self._timer = self._cluster.schedule_timer(
+                self._cluster.vote_window,
+                self._votes_closed,
+                kind="vote-window",
+                run_id=self.run_id,
+                site=self.site,
             )
-        self._timer = self._cluster.schedule_timer(
-            self._cluster.vote_window,
-            self._votes_closed,
-            kind="vote-window",
-            run_id=self.run_id,
-            site=self.site,
-        )
 
     # ------------------------------------------------------------------ #
     # Phase 1: voting
@@ -201,6 +220,17 @@ class ProtocolRun:
                 self._votes[sender] = message.metadata
                 if self._cluster.metrics.enabled:
                     self._cluster.metrics.counter("netsim.votes.replies").inc()
+                causal = self._cluster.causal
+                if causal.enabled:
+                    self._vote_ctxs[sender] = causal.emit(
+                        "vote",
+                        self._cluster.simulator.now,
+                        parents=(causal.current,),
+                        site=self.site,
+                        run_id=self.run_id,
+                        voter=sender,
+                        phase="vote",
+                    )
         elif isinstance(message, CatchUpReply):
             self._on_catch_up_reply(message)
 
@@ -208,6 +238,27 @@ class ProtocolRun:
         if self._phase is not _Phase.VOTING:
             return
         self._close_phase_span(votes=len(self._votes))
+        causal = self._cluster.causal
+        if causal.enabled:
+            # The join point: the decision causally follows every vote
+            # that was counted, so a commit can never precede its quorum.
+            self.ctx = causal.emit(
+                "votes-closed",
+                self._cluster.simulator.now,
+                parents=(
+                    self.ctx,
+                    causal.current,
+                    *(self._vote_ctxs[s] for s in sorted(self._vote_ctxs)),
+                ),
+                site=self.site,
+                run_id=self.run_id,
+                votes=len(self._votes),
+                phase="vote",
+            )
+        with causal.scope(self.ctx):
+            self._decide()
+
+    def _decide(self) -> None:
         node = self._cluster.node(self.site)
         copies = dict(self._votes)
         copies[self.site] = node.metadata
@@ -301,27 +352,65 @@ class ProtocolRun:
             payload,
             self.participants,
         )
-        # Durable decision first (presumed abort), then local apply, then
-        # the commit messages -- all at one instant of simulated time,
-        # matching the atomic commit point of the real protocol.
-        node.log_decision(self.run_id, commit)
-        node.apply_commit(self.run_id, self._pending_metadata, payload)
-        for subordinate in sorted(self._votes):
-            self._cluster.network.send(self.site, subordinate, commit)
-        node.locks.release_if_involved(self.run_id)
-        self.result = payload
-        self._finish(RunStatus.COMMITTED, "")
+        causal = self._cluster.causal
+        if causal.enabled:
+            now = self._cluster.simulator.now
+            self.ctx = causal.emit(
+                "commit",
+                now,
+                parents=(self.ctx, causal.current),
+                site=self.site,
+                run_id=self.run_id,
+                version=self._pending_metadata.version,
+                participants=sorted(self.participants),
+                phase="decision",
+            )
+            if self._pending_metadata.version > node.metadata.version:
+                causal.emit(
+                    "install",
+                    now,
+                    parents=(self.ctx,),
+                    site=self.site,
+                    run_id=self.run_id,
+                    version=self._pending_metadata.version,
+                    participants=sorted(self.participants),
+                    phase="decision",
+                )
+        with causal.scope(self.ctx):
+            # Durable decision first (presumed abort), then local apply,
+            # then the commit messages -- all at one instant of simulated
+            # time, matching the atomic commit point of the real protocol.
+            node.log_decision(self.run_id, commit)
+            node.apply_commit(self.run_id, self._pending_metadata, payload)
+            for subordinate in sorted(self._votes):
+                self._cluster.network.send(self.site, subordinate, commit)
+            node.locks.release_if_involved(self.run_id)
+            self.result = payload
+            self._finish(RunStatus.COMMITTED, "")
 
     def _abort_everywhere(self, status: RunStatus, reason: str) -> None:
         node = self._cluster.node(self.site)
-        node.log_decision(self.run_id, None)
-        if self._cluster.topology.is_up(self.site):
-            for subordinate in sorted(self._votes):
-                self._cluster.network.send(
-                    self.site, subordinate, AbortMessage(self.run_id, self.site)
-                )
-        node.locks.release_if_involved(self.run_id)
-        self._finish(status, reason)
+        causal = self._cluster.causal
+        if causal.enabled:
+            self.ctx = causal.emit(
+                "abort",
+                self._cluster.simulator.now,
+                parents=(self.ctx, causal.current),
+                site=self.site,
+                run_id=self.run_id,
+                status=status.value,
+                reason=reason,
+                phase="decision",
+            )
+        with causal.scope(self.ctx):
+            node.log_decision(self.run_id, None)
+            if self._cluster.topology.is_up(self.site):
+                for subordinate in sorted(self._votes):
+                    self._cluster.network.send(
+                        self.site, subordinate, AbortMessage(self.run_id, self.site)
+                    )
+            node.locks.release_if_involved(self.run_id)
+            self._finish(status, reason)
 
     # ------------------------------------------------------------------ #
     # Failure handling / bookkeeping
@@ -337,6 +426,18 @@ class ProtocolRun:
         self.reason = "coordinator failed"
         self.finished_at = self._cluster.simulator.now
         self._close_spans(RunStatus.FAILED)
+        causal = self._cluster.causal
+        if causal.enabled:
+            causal.emit(
+                "finish",
+                self.finished_at,
+                parents=(self.ctx, causal.current),
+                site=self.site,
+                run_id=self.run_id,
+                status=RunStatus.FAILED.value,
+                latency=self.latency,
+                phase="decision",
+            )
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -371,4 +472,16 @@ class ProtocolRun:
         self.reason = reason
         self.finished_at = self._cluster.simulator.now
         self._close_spans(status)
+        causal = self._cluster.causal
+        if causal.enabled:
+            causal.emit(
+                "finish",
+                self.finished_at,
+                parents=(self.ctx, causal.current),
+                site=self.site,
+                run_id=self.run_id,
+                status=status.value,
+                latency=self.latency,
+                phase="decision",
+            )
         self._cluster.run_finished(self)

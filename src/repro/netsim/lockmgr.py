@@ -31,6 +31,13 @@ class LockManager:
     synchronously when the lock becomes available.  ``wait_counter`` (an
     :class:`repro.obs.metrics.Counter`, optional) is bumped whenever a
     request has to queue behind the current holder.
+
+    Causal tracing note: a *deferred* grant fires inside whatever event
+    released the lock, so the grant callback sees the releaser's context
+    as ``CausalTracer.current`` -- the lock-handoff edge.  Callers that
+    need the *requester's* context as a parent capture it at request time
+    (see ``Node._on_vote_request``), which is why grant callbacks are
+    bound partials rather than closures.
     """
 
     def __init__(self, site: SiteId, wait_counter=None) -> None:

@@ -8,16 +8,26 @@ identifier so that late or duplicated deliveries are recognised and
 ignored -- the simulator loses messages whenever a partition or failure
 separates sender and receiver, exactly the situations the paper's
 termination discussion worries about.
+
+With causal tracing on, every concrete message additionally carries the
+:class:`~repro.obs.causal.CausalContext` of its *send* event in ``ctx``
+(attached by the network, defaulting to ``None``), so deliveries can be
+causally parented on their sends.  ``ctx`` is trace plumbing, not protocol
+state: it never influences behaviour, and the model checker's canonical
+message keys exclude it.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..core.metadata import ReplicaMetadata
 from ..types import SiteId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.causal import CausalContext
 
 __all__ = [
     "Message",
@@ -66,12 +76,15 @@ class Message:
 class VoteRequest(Message):
     """Step ii): the coordinator asks a site for its (VN, SC, DS)."""
 
+    ctx: "CausalContext | None" = None
+
 
 @dataclass(frozen=True, slots=True)
 class VoteReply(Message):
     """Step iii): a subordinate reports its metadata (lock held)."""
 
     metadata: ReplicaMetadata
+    ctx: "CausalContext | None" = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,16 +108,21 @@ class CommitMessage(Message):
     metadata: ReplicaMetadata
     value: Any
     participants: frozenset[SiteId] = frozenset()
+    ctx: "CausalContext | None" = None
 
 
 @dataclass(frozen=True, slots=True)
 class AbortMessage(Message):
     """Step v): the update is abandoned; subordinates release their locks."""
 
+    ctx: "CausalContext | None" = None
+
 
 @dataclass(frozen=True, slots=True)
 class CatchUpRequest(Message):
     """Catch-up phase: a stale coordinator asks a current site for state."""
+
+    ctx: "CausalContext | None" = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +131,7 @@ class CatchUpReply(Message):
 
     metadata: ReplicaMetadata
     value: Any
+    ctx: "CausalContext | None" = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,6 +144,8 @@ class DecisionRequest(Message):
     answered ABORT (presumed abort), which is safe because the coordinator
     logs COMMIT durably *before* sending any commit message.
     """
+
+    ctx: "CausalContext | None" = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,3 +161,4 @@ class DecisionReply(Message):
     metadata: ReplicaMetadata | None = None
     value: Any = None
     participants: frozenset[SiteId] = frozenset()
+    ctx: "CausalContext | None" = None

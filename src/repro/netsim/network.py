@@ -11,9 +11,11 @@ latency is constant and the engine breaks ties by schedule order.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable
 
 from ..errors import NetworkError
+from ..obs.causal import MESSAGE_PHASES, NULL_CAUSAL, CausalTracer, NullCausalTracer
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.topology import Topology
@@ -29,7 +31,10 @@ class MessageNetwork:
     ``observer`` receives structured trace records
     (``observer(time, category, description, **fields)``); ``metrics``
     (optional) collects per-message-type counters under
-    ``netsim.message.*``.
+    ``netsim.message.*``; ``causal`` (optional) is the cluster's
+    :class:`~repro.obs.causal.CausalTracer` -- when enabled, every send
+    stamps the outgoing message with its send event's context, and every
+    delivery (or loss) is causally parented on that send.
     """
 
     def __init__(
@@ -40,6 +45,7 @@ class MessageNetwork:
         observer: Callable[..., None] | None = None,
         metrics: MetricsRegistry | None = None,
         transport: Callable[[SiteId, SiteId, Message], None] | None = None,
+        causal: CausalTracer | NullCausalTracer | None = None,
     ) -> None:
         if latency <= 0:
             raise NetworkError(f"latency must be positive: {latency}")
@@ -48,6 +54,7 @@ class MessageNetwork:
         self._latency = latency
         self._observer = observer
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._causal = causal if causal is not None else NULL_CAUSAL
         self._transport = transport
         self._handlers: dict[SiteId, Callable[[SiteId, Message], None]] = {}
         self._sent = 0
@@ -93,6 +100,19 @@ class MessageNetwork:
             self._metrics.counter(
                 f"netsim.message.sent.{type(message).__name__}"
             ).inc()
+        if self._causal.enabled:
+            name = type(message).__name__
+            ctx = self._causal.emit(
+                "send",
+                self._simulator.now,
+                parents=(self._causal.current,),
+                site=source,
+                run_id=message.run_id,
+                message=name,
+                destination=destination,
+                phase=MESSAGE_PHASES.get(name, "message"),
+            )
+            message = dataclasses.replace(message, ctx=ctx)
         if self._transport is not None:
             self._transport(source, destination, message)
             return
@@ -136,6 +156,19 @@ class MessageNetwork:
                 self._metrics.counter(
                     f"netsim.message.lost.{lost_reason.replace(' ', '-')}"
                 ).inc()
+            if self._causal.enabled:
+                name = type(message).__name__
+                self._causal.emit(
+                    "lose",
+                    self._simulator.now,
+                    parents=(message.ctx,),
+                    site=destination,
+                    run_id=message.run_id,
+                    message=name,
+                    source=source,
+                    reason=lost_reason,
+                    phase=MESSAGE_PHASES.get(name, "message"),
+                )
             if self._observer is not None:
                 self._observer(
                     self._simulator.now,
@@ -170,5 +203,20 @@ class MessageNetwork:
                 message=type(message).__name__,
                 run_id=message.run_id,
             )
-        handler(source, message)
+        if self._causal.enabled:
+            name = type(message).__name__
+            ctx = self._causal.emit(
+                "deliver",
+                self._simulator.now,
+                parents=(message.ctx,),
+                site=destination,
+                run_id=message.run_id,
+                message=name,
+                source=source,
+                phase=MESSAGE_PHASES.get(name, "message"),
+            )
+            with self._causal.scope(ctx):
+                handler(source, message)
+        else:
+            handler(source, message)
         return None

@@ -43,6 +43,7 @@ from .messages import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.causal import CausalContext
     from .cluster import ReplicaCluster
 
 __all__ = ["AppliedUpdate", "Node"]
@@ -156,14 +157,39 @@ class Node:
 
     def _on_vote_request(self, sender: SiteId, message: VoteRequest) -> None:
         # A bound partial (not a closure) so deterministic drivers can
-        # inspect and replay queued lock-grant callbacks.
+        # inspect and replay queued lock-grant callbacks.  The current
+        # causal context (the VoteRequest delivery) is captured now: by
+        # the time a queued grant fires, the tracer's current context is
+        # whatever released the lock, which is a separate causal edge.
         self.locks.request(
             message.run_id,
-            functools.partial(self._vote_lock_granted, sender, message.run_id),
+            functools.partial(
+                self._vote_lock_granted,
+                sender,
+                message.run_id,
+                self._cluster.causal.current,
+            ),
         )
 
-    def _vote_lock_granted(self, sender: SiteId, run_id: int) -> None:
+    def _vote_lock_granted(
+        self,
+        sender: SiteId,
+        run_id: int,
+        request_ctx: "CausalContext | None" = None,
+    ) -> None:
         """Step iii: the local lock is ours -- reply with metadata, in doubt."""
+        causal = self._cluster.causal
+        ctx = None
+        if causal.enabled:
+            ctx = causal.emit(
+                "vote-lock-granted",
+                self._cluster.simulator.now,
+                parents=(request_ctx, causal.current),
+                site=self.site,
+                run_id=run_id,
+                coordinator=sender,
+                phase="vote",
+            )
         self._in_doubt[run_id] = _InDoubt(
             coordinator=sender,
             span=self._cluster.spans.open(
@@ -174,15 +200,43 @@ class Node:
                 coordinator=sender,
             ),
         )
-        self._schedule_termination_probe(run_id)
-        self._cluster.network.send(
-            self.site, sender, VoteReply(run_id, self.site, self.metadata)
-        )
+        with causal.scope(ctx):
+            self._schedule_termination_probe(run_id)
+            self._cluster.network.send(
+                self.site, sender, VoteReply(run_id, self.site, self.metadata)
+            )
 
     def _on_commit(self, message: CommitMessage) -> None:
         assert message.metadata is not None
+        self._trace_install(message.run_id, message.metadata, message.participants)
         self.apply_commit(message.run_id, message.metadata, message.value)
         self._settle(message.run_id)
+
+    def _trace_install(
+        self,
+        run_id: int,
+        metadata: ReplicaMetadata,
+        participants: frozenset[SiteId],
+    ) -> None:
+        """Emit an ``install`` event if this apply will take effect.
+
+        The event's ``participants`` field is the deciding partition *P*;
+        the happens-before catalog asserts the installing site is a
+        member (the PR-1 fork bug is exactly this event firing outside
+        *P* via a DecisionReply).
+        """
+        causal = self._cluster.causal
+        if causal.enabled and metadata.version > self.metadata.version:
+            causal.emit(
+                "install",
+                self._cluster.simulator.now,
+                parents=(causal.current,),
+                site=self.site,
+                run_id=run_id,
+                version=metadata.version,
+                participants=sorted(participants),
+                phase="decision",
+            )
 
     def _on_abort(self, message: AbortMessage) -> None:
         self._settle(message.run_id)
@@ -266,5 +320,8 @@ class Node:
             # be exactly P.  A site whose vote missed the window stays
             # stale until an update it participates in catches it up.
             assert message.metadata is not None
+            self._trace_install(
+                message.run_id, message.metadata, message.participants
+            )
             self.apply_commit(message.run_id, message.metadata, message.value)
         self._settle(message.run_id)

@@ -10,8 +10,14 @@ The observability layer sits just above :mod:`repro.errors` /
   (:func:`global_registry` / :func:`use`) for deep layers.
 * :mod:`repro.obs.trace` -- the structured :class:`TraceEvent` /
   :class:`TraceLog` (typed fields, JSONL export, per-category drop
-  accounting); re-exported by :mod:`repro.netsim.trace` for
-  compatibility.
+  accounting), shared by every substrate.
+* :mod:`repro.obs.causal` -- causal trace contexts (trace id, event id,
+  Lamport clock) and the :class:`CausalTracer` that records the
+  causally-parented ``causal`` event DAG (null-object
+  :data:`NULL_CAUSAL` when disabled).
+* :mod:`repro.obs.query` -- the trace-query engine over exported causal
+  DAGs: happens-before assertions, critical-path extraction with
+  per-phase latency breakdown, per-operation stats.
 * :mod:`repro.obs.spans` -- sim-time :class:`Span` intervals (vote
   rounds, catch-up, in-doubt windows) with LIFO nesting enforcement.
 * :mod:`repro.obs.clock` -- the only module allowed to read the wall
@@ -27,6 +33,14 @@ See ``docs/OBSERVABILITY.md`` for the metric name tables, the span
 taxonomy, and the manifest schema.
 """
 
+from .causal import (
+    MESSAGE_PHASES,
+    NULL_CAUSAL,
+    CausalContext,
+    CausalTracer,
+    NullCausalTracer,
+    derive_trace_id,
+)
 from .clock import Stopwatch, perf_seconds, utc_timestamp, wall_time
 from .manifest import (
     SCHEMA_VERSION,
@@ -53,10 +67,36 @@ from .profile import (
     parse_collapsed,
     profiling,
 )
+from .query import (
+    AssertionFailure,
+    CausalDag,
+    CausalEvent,
+    CriticalPath,
+    OperationStats,
+    PathSegment,
+    assertion_names,
+    check_assertions,
+    operation_stats,
+)
 from .spans import NULL_TRACKER, Span, SpanTracker
 from .trace import TraceEvent, TraceLog
 
 __all__ = [
+    "CausalContext",
+    "CausalTracer",
+    "NullCausalTracer",
+    "NULL_CAUSAL",
+    "MESSAGE_PHASES",
+    "derive_trace_id",
+    "CausalDag",
+    "CausalEvent",
+    "CriticalPath",
+    "PathSegment",
+    "AssertionFailure",
+    "OperationStats",
+    "assertion_names",
+    "check_assertions",
+    "operation_stats",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,577 @@
+"""Trace-query engine over exported causal DAGs.
+
+Everything here works purely on the JSONL export (or the in-memory
+``TraceEvent`` list) of category ``causal`` events produced by
+:class:`~repro.obs.causal.CausalTracer` -- no live cluster is needed, so
+the same queries run on stochastic netsim traces and on model-checker
+counterexample files.
+
+Three query families:
+
+* **happens-before** -- :meth:`CausalDag.happens_before` is ancestor
+  reachability over the parent edges; :func:`check_assertions` runs the
+  happens-before catalog (commit never precedes its quorum of votes, no
+  install outside the deciding partition *P*, clock/time monotonicity,
+  acyclicity) and returns the offending edges.
+* **critical path** -- :meth:`CausalDag.critical_path` walks back from an
+  event always taking the latest-finishing parent; consecutive path
+  events bound per-phase sim-time segments that sum *exactly* to the
+  end-to-end latency (the segments telescope).
+* **per-operation stats** -- :func:`operation_stats` folds each trace's
+  root and finish events into latency / outcome rows, the data behind the
+  ``op.commit.latency`` / ``op.abort.rate`` SLO metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ..errors import ObservabilityError
+from .trace import TraceEvent
+
+__all__ = [
+    "CausalEvent",
+    "CausalDag",
+    "CriticalPath",
+    "PathSegment",
+    "AssertionFailure",
+    "assertion_names",
+    "check_assertions",
+    "operation_stats",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CausalEvent:
+    """One parsed causal event (a node of the DAG)."""
+
+    event_id: str
+    trace_id: str
+    kind: str
+    time: float
+    lamport: int
+    site: str | None
+    parents: tuple[str, ...]
+    phase: str | None
+    fields: tuple[tuple[str, object], ...]
+
+    def field(self, key: str, default: object = None) -> object:
+        """The value of one raw field (``default`` if absent)."""
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def run_id(self) -> int | None:
+        """The protocol run this event belongs to, if recorded."""
+        value = self.field("run_id")
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            return None
+        return int(value)
+
+
+def _event_from_fields(
+    time: float, fields: Mapping[str, object]
+) -> CausalEvent:
+    try:
+        event_id = str(fields["event_id"])
+        trace_id = str(fields["trace_id"])
+        kind = str(fields["event"])
+        raw_lamport = fields["lamport"]
+        raw_parents = fields["parents"]
+        if not isinstance(raw_lamport, (int, float, str)):
+            raise TypeError(f"lamport is {type(raw_lamport).__name__}")
+        if not isinstance(raw_parents, (list, tuple)):
+            raise TypeError(f"parents is {type(raw_parents).__name__}")
+        lamport = int(raw_lamport)
+        parents = tuple(str(p) for p in raw_parents)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ObservabilityError(f"malformed causal event: {exc}") from exc
+    site = fields.get("site")
+    phase = fields.get("phase")
+    return CausalEvent(
+        event_id=event_id,
+        trace_id=trace_id,
+        kind=kind,
+        time=float(time),
+        lamport=lamport,
+        site=None if site is None else str(site),
+        parents=parents,
+        phase=None if phase is None else str(phase),
+        fields=tuple(sorted(fields.items(), key=lambda item: item[0])),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One edge of a critical path with its sim-time duration."""
+
+    source: CausalEvent
+    target: CausalEvent
+    phase: str
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class CriticalPath:
+    """A root-to-event path taking the latest-finishing parent at each step."""
+
+    events: tuple[CausalEvent, ...]
+
+    @property
+    def start(self) -> float:
+        return self.events[0].time
+
+    @property
+    def end(self) -> float:
+        return self.events[-1].time
+
+    @property
+    def total(self) -> float:
+        """End-to-end sim time along the path."""
+        return self.end - self.start
+
+    @property
+    def segments(self) -> tuple[PathSegment, ...]:
+        """Consecutive edges; their durations telescope to :attr:`total`."""
+        return tuple(
+            PathSegment(
+                source=a,
+                target=b,
+                phase=b.phase or b.kind,
+                duration=b.time - a.time,
+            )
+            for a, b in zip(self.events, self.events[1:])
+        )
+
+    def by_phase(self) -> dict[str, float]:
+        """Per-phase duration sums, in first-appearance order."""
+        table: dict[str, float] = {}
+        for segment in self.segments:
+            table[segment.phase] = table.get(segment.phase, 0.0) + segment.duration
+        return table
+
+    def render(self) -> str:
+        """Readable breakdown: one line per phase plus the total."""
+        lines = [
+            f"  {phase:<14} {duration:10.4f}"
+            for phase, duration in self.by_phase().items()
+        ]
+        lines.append(f"  {'total':<14} {self.total:10.4f}")
+        return "\n".join(lines)
+
+
+class CausalDag:
+    """The causal DAG of one exported trace log."""
+
+    def __init__(self, events: Iterable[CausalEvent]) -> None:
+        self._events: list[CausalEvent] = []
+        self._by_id: dict[str, CausalEvent] = {}
+        for event in events:
+            if event.event_id in self._by_id:
+                raise ObservabilityError(
+                    f"duplicate causal event id {event.event_id!r}"
+                )
+            self._events.append(event)
+            self._by_id[event.event_id] = event
+        self._children: dict[str, list[str]] = {}
+        for event in self._events:
+            for parent in event.parents:
+                self._children.setdefault(parent, []).append(event.event_id)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "CausalDag":
+        """Build from in-memory trace events (category ``causal`` only)."""
+        return cls(
+            _event_from_fields(event.time, dict(event.fields))
+            for event in events
+            if event.category == "causal"
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "CausalDag":
+        """Build from a JSONL export; non-causal lines are skipped."""
+        parsed: list[CausalEvent] = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"line {line_number} is not JSON: {exc}"
+                ) from exc
+            if record.get("category") != "causal":
+                continue
+            parsed.append(
+                _event_from_fields(
+                    float(record.get("time", 0.0)), record.get("fields", {})
+                )
+            )
+        return cls(parsed)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> tuple[CausalEvent, ...]:
+        """All events, in recording order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def get(self, event_id: str) -> CausalEvent:
+        """Look an event up by id."""
+        try:
+            return self._by_id[event_id]
+        except KeyError as exc:
+            raise ObservabilityError(f"unknown event id {event_id!r}") from exc
+
+    def __contains__(self, event_id: str) -> bool:
+        return event_id in self._by_id
+
+    def children(self, event_id: str) -> tuple[CausalEvent, ...]:
+        """Direct causal successors of an event."""
+        return tuple(self._by_id[c] for c in self._children.get(event_id, ()))
+
+    def traces(self) -> tuple[str, ...]:
+        """All trace ids, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.trace_id, None)
+        return tuple(seen)
+
+    def trace_events(self, trace_id: str) -> tuple[CausalEvent, ...]:
+        """Events of one trace, in recording order."""
+        return tuple(e for e in self._events if e.trace_id == trace_id)
+
+    def roots(self) -> tuple[CausalEvent, ...]:
+        """Events with no parents (one per trace in a well-formed log)."""
+        return tuple(e for e in self._events if not e.parents)
+
+    def find(
+        self,
+        kind: str | None = None,
+        *,
+        trace_id: str | None = None,
+        run_id: int | None = None,
+    ) -> tuple[CausalEvent, ...]:
+        """Events matching the given filters, in recording order."""
+        return tuple(
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (trace_id is None or e.trace_id == trace_id)
+            and (run_id is None or e.run_id == run_id)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def ancestors(self, event_id: str) -> frozenset[str]:
+        """All event ids strictly happening-before an event."""
+        seen: set[str] = set()
+        stack = [p for p in self.get(event_id).parents if p in self._by_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(
+                p for p in self._by_id[current].parents if p in self._by_id
+            )
+        return frozenset(seen)
+
+    def happens_before(self, first: str, second: str) -> bool:
+        """Whether ``first`` is a strict causal ancestor of ``second``."""
+        return first in self.ancestors(second)
+
+    def critical_path(self, event_id: str) -> CriticalPath:
+        """The latest-finishing causal chain ending at an event.
+
+        At each step the predecessor with the greatest ``(time, lamport,
+        event_id)`` is taken -- the parent that actually gated this event
+        in sim time, with deterministic tie-breaking.  Parents missing
+        from the DAG (a truncated export) are skipped.
+        """
+        path = [self.get(event_id)]
+        while True:
+            parents = [
+                self._by_id[p] for p in path[-1].parents if p in self._by_id
+            ]
+            if not parents:
+                break
+            path.append(
+                max(parents, key=lambda e: (e.time, e.lamport, e.event_id))
+            )
+        path.reverse()
+        return CriticalPath(tuple(path))
+
+
+# ---------------------------------------------------------------------- #
+# Happens-before assertion catalog
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class AssertionFailure:
+    """One violated happens-before assertion, with the offending edge."""
+
+    assertion: str
+    detail: str
+    events: tuple[str, ...]
+
+    def describe(self) -> str:
+        """``assertion: detail [event ids]`` for reports."""
+        where = f" [{' -> '.join(self.events)}]" if self.events else ""
+        return f"{self.assertion}: {self.detail}{where}"
+
+
+def _check_acyclic(dag: CausalDag) -> list[AssertionFailure]:
+    failures: list[AssertionFailure] = []
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+    for start in dag.events:
+        if state.get(start.event_id):
+            continue
+        stack: list[tuple[str, int]] = [(start.event_id, 0)]
+        state[start.event_id] = 1
+        while stack:
+            node, index = stack[-1]
+            parents = [p for p in dag.get(node).parents if p in dag]
+            if index < len(parents):
+                stack[-1] = (node, index + 1)
+                parent = parents[index]
+                mark = state.get(parent)
+                if mark == 1:
+                    failures.append(
+                        AssertionFailure(
+                            "acyclic",
+                            "causal cycle through parent edge",
+                            (parent, node),
+                        )
+                    )
+                elif mark is None:
+                    state[parent] = 1
+                    stack.append((parent, 0))
+            else:
+                state[node] = 2
+                stack.pop()
+    return failures
+
+
+def _check_parents_resolve(dag: CausalDag) -> list[AssertionFailure]:
+    return [
+        AssertionFailure(
+            "parents-resolve",
+            f"event {event.event_id} names unknown parent {parent}",
+            (parent, event.event_id),
+        )
+        for event in dag.events
+        for parent in event.parents
+        if parent not in dag
+    ]
+
+
+def _check_lamport_monotone(dag: CausalDag) -> list[AssertionFailure]:
+    failures = []
+    for event in dag.events:
+        for parent_id in event.parents:
+            if parent_id not in dag:
+                continue
+            parent = dag.get(parent_id)
+            if parent.lamport >= event.lamport:
+                failures.append(
+                    AssertionFailure(
+                        "lamport-monotone",
+                        f"lamport {parent.lamport} -> {event.lamport} "
+                        "does not increase",
+                        (parent_id, event.event_id),
+                    )
+                )
+    return failures
+
+
+def _check_time_monotone(dag: CausalDag) -> list[AssertionFailure]:
+    failures = []
+    for event in dag.events:
+        for parent_id in event.parents:
+            if parent_id not in dag:
+                continue
+            parent = dag.get(parent_id)
+            if parent.time > event.time:
+                failures.append(
+                    AssertionFailure(
+                        "time-monotone",
+                        f"sim time runs backwards "
+                        f"({parent.time:g} -> {event.time:g})",
+                        (parent_id, event.event_id),
+                    )
+                )
+    return failures
+
+
+def _check_single_root(dag: CausalDag) -> list[AssertionFailure]:
+    roots_by_trace: dict[str, list[str]] = {}
+    for event in dag.events:
+        if not event.parents:
+            roots_by_trace.setdefault(event.trace_id, []).append(event.event_id)
+    return [
+        AssertionFailure(
+            "single-root",
+            f"trace {trace_id} has {len(roots)} root events",
+            tuple(roots),
+        )
+        for trace_id, roots in roots_by_trace.items()
+        if len(roots) > 1
+    ]
+
+
+def _participants_field(event: CausalEvent) -> tuple[str, ...]:
+    """The ``participants`` field as site names (empty when absent)."""
+    raw = event.field("participants")
+    if isinstance(raw, (list, tuple)):
+        return tuple(str(member) for member in raw)
+    return ()
+
+
+def _check_commit_after_votes(dag: CausalDag) -> list[AssertionFailure]:
+    """A commit causally follows a vote from every other participant.
+
+    This is the "commit never precedes its quorum of votes" guarantee:
+    the participants field of the commit event is the partition *P* the
+    decision was taken over, and each member's vote (the coordinator
+    votes implicitly by holding its own lock) must be an ancestor.
+    """
+    failures = []
+    for commit in dag.find("commit"):
+        participants = _participants_field(commit)
+        ancestors = dag.ancestors(commit.event_id)
+        votes_seen = {
+            str(vote.field("voter"))
+            for vote in dag.find("vote", run_id=commit.run_id)
+            if vote.event_id in ancestors
+        }
+        for member in participants:
+            if member == commit.site:
+                continue
+            if member not in votes_seen:
+                failures.append(
+                    AssertionFailure(
+                        "commit-after-votes",
+                        f"commit of run {commit.run_id} does not causally "
+                        f"follow a vote from participant {member}",
+                        (commit.event_id,),
+                    )
+                )
+    return failures
+
+
+def _check_install_within_participants(dag: CausalDag) -> list[AssertionFailure]:
+    """No site outside the deciding partition *P* installs the commit.
+
+    The operational form of "no event in a non-distinguished partition
+    parents a commit": the only sites allowed to apply a committed
+    version are the commit's participants (the PR-1 fork bug is exactly a
+    late voter outside *P* installing via DecisionReply).
+    """
+    failures = []
+    for install in dag.find("install"):
+        participants = set(_participants_field(install))
+        if install.site is not None and install.site not in participants:
+            failures.append(
+                AssertionFailure(
+                    "install-within-participants",
+                    f"site {install.site} installed version "
+                    f"{install.field('version')} of run {install.run_id} but "
+                    f"is outside participants {sorted(participants)}",
+                    (install.event_id,),
+                )
+            )
+    return failures
+
+
+_ASSERTIONS = {
+    "parents-resolve": _check_parents_resolve,
+    "acyclic": _check_acyclic,
+    "lamport-monotone": _check_lamport_monotone,
+    "time-monotone": _check_time_monotone,
+    "single-root": _check_single_root,
+    "commit-after-votes": _check_commit_after_votes,
+    "install-within-participants": _check_install_within_participants,
+}
+
+
+def assertion_names() -> tuple[str, ...]:
+    """The happens-before assertion catalog, in evaluation order."""
+    return tuple(_ASSERTIONS)
+
+
+def check_assertions(
+    dag: CausalDag, names: Iterable[str] | None = None
+) -> list[AssertionFailure]:
+    """Run (a subset of) the assertion catalog; return all failures."""
+    failures: list[AssertionFailure] = []
+    for name in names if names is not None else assertion_names():
+        try:
+            checker = _ASSERTIONS[name]
+        except KeyError as exc:
+            known = ", ".join(assertion_names())
+            raise ObservabilityError(
+                f"unknown assertion {name!r} (known: {known})"
+            ) from exc
+        failures.extend(checker(dag))
+    return failures
+
+
+# ---------------------------------------------------------------------- #
+# Per-operation statistics
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class OperationStats:
+    """Latency and outcome of one traced operation."""
+
+    trace_id: str
+    run_id: int | None
+    kind: str | None
+    status: str | None
+    latency: float | None
+
+
+def operation_stats(dag: CausalDag) -> tuple[OperationStats, ...]:
+    """Fold each trace's root/finish events into one summary row."""
+    rows = []
+    for trace_id in dag.traces():
+        events = dag.trace_events(trace_id)
+        root = next((e for e in events if not e.parents), None)
+        finish = next((e for e in events if e.kind == "finish"), None)
+        if root is None:
+            continue
+        status = finish.field("status") if finish is not None else None
+        rows.append(
+            OperationStats(
+                trace_id=trace_id,
+                run_id=root.run_id,
+                kind=(
+                    str(root.field("op"))
+                    if root.field("op") is not None
+                    else None
+                ),
+                status=None if status is None else str(status),
+                latency=(
+                    finish.time - root.time if finish is not None else None
+                ),
+            )
+        )
+    return tuple(rows)

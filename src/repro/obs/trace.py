@@ -11,6 +11,15 @@ lines tests and examples read.
 :class:`TraceLog` is the bounded, append-only collector.  Past capacity it
 *counts* what it drops -- in total and per category -- and ``render()``
 reports the truncation instead of silently hiding it.
+
+This module is the single home of the trace machinery for every substrate
+(the former ``repro.netsim.trace`` pass-through shim is gone): a netsim
+:class:`~repro.netsim.cluster.ReplicaCluster` collects run lifecycle
+transitions, topology changes, message deliveries and losses, span
+closures, and -- with causal tracing on -- the ``causal`` DAG events of
+:mod:`repro.obs.causal`.  Tracing is opt-in
+(``ReplicaCluster(..., trace=True)``); when disabled the hot paths skip
+the recording entirely.
 """
 
 from __future__ import annotations
@@ -72,9 +81,10 @@ class TraceLog:
     """An append-only event log with filtering, rendering, and JSONL export."""
 
     #: Categories produced by the cluster (plus "check" for model-checker
-    #: schedule replays, which share this log so counterexample traces and
-    #: stochastic-run traces have one schema).
-    CATEGORIES = ("run", "topology", "message", "lock", "span", "check")
+    #: schedule replays and "causal" for the causally-parented DAG events,
+    #: which share this log so counterexample traces and stochastic-run
+    #: traces have one schema).
+    CATEGORIES = ("run", "topology", "message", "lock", "span", "check", "causal")
 
     def __init__(self, capacity: int = 100_000) -> None:
         self._events: list[TraceEvent] = []
@@ -86,15 +96,22 @@ class TraceLog:
         self, time: float, category: str, description: str, **fields: object
     ) -> None:
         """Append an event; past capacity, count the drop per category."""
+        self.append(TraceEvent(time, category, description, tuple(fields.items())))
+
+    def append(self, event: TraceEvent) -> None:
+        """Append a pre-built event (the causal tracer's fast path).
+
+        Same capacity rule as :meth:`record`; building the
+        :class:`TraceEvent` at the call site skips one keyword-dict
+        round-trip per event, which matters on the causal hot path.
+        """
         if len(self._events) >= self._capacity:
             self._dropped += 1
-            self._dropped_by_category[category] = (
-                self._dropped_by_category.get(category, 0) + 1
+            self._dropped_by_category[event.category] = (
+                self._dropped_by_category.get(event.category, 0) + 1
             )
             return
-        self._events.append(
-            TraceEvent(time, category, description, tuple(fields.items()))
-        )
+        self._events.append(event)
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:

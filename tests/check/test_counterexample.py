@@ -84,5 +84,51 @@ class TestJsonlRoundTrip:
         document = schedule_to_jsonl(schedule, violation, FORK_CONFIG)
         lines = [line for line in document.splitlines() if line]
         records = [json.loads(line) for line in lines]
-        assert len(records) == len(schedule) + 2  # config + actions + verdict
-        assert all(r["category"] == "check" for r in records)
+        checks = [r for r in records if r["category"] == "check"]
+        assert len(checks) == len(schedule) + 2  # config + actions + verdict
+        # The rest is the causal DAG of the replayed schedule -- the
+        # shared format `repro trace assert` consumes.
+        assert all(r["category"] in ("check", "causal") for r in records)
+        assert any(r["category"] == "causal" for r in records)
+
+
+class TestCausalExport:
+    def test_counterexample_carries_a_causal_dag(self, fork_result):
+        from repro.obs.query import CausalDag, check_assertions
+
+        schedule, violation = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        document = schedule_to_jsonl(schedule, violation, FORK_CONFIG)
+        dag = CausalDag.from_jsonl(document)
+        assert dag.events, "counterexample export lost its causal layer"
+        failures = check_assertions(dag)
+        # The fork bug IS a causal-assertion violation: a site outside the
+        # deciding partition P installs the committed version.
+        assert any(
+            f.assertion == "install-within-participants" for f in failures
+        ), [f.describe() for f in failures]
+
+    def test_causal_layer_does_not_disturb_replay(self, fork_result):
+        schedule, violation = minimize(
+            FORK_CONFIG, fork_result.schedule, default_oracle_names()
+        )
+        document = schedule_to_jsonl(schedule, violation, FORK_CONFIG)
+        config, actions, loaded = load_schedule(document)
+        assert config == FORK_CONFIG
+        assert tuple(actions) == tuple(schedule)
+        assert loaded == violation
+
+    def test_causal_harness_matches_plain_snapshots(self):
+        # Tracing must be invisible to state fingerprints: the stamped ctx
+        # is excluded from message keys, so a causal-enabled harness walks
+        # the exact same canonical state space.
+        plain = CheckHarness(FORK_CONFIG)
+        traced = CheckHarness(FORK_CONFIG, causal=True)
+        assert traced.cluster.causal.enabled
+        assert plain.snapshot() == traced.snapshot()
+        for harness in (plain, traced):
+            harness.reset()
+            for action in harness.enabled_actions()[:1]:
+                assert harness.apply(action)
+        assert plain.snapshot() == traced.snapshot()

@@ -1,0 +1,125 @@
+"""Causal tracing threaded through live netsim runs: DAG, SLOs, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_protocol
+from repro.netsim import ReplicaCluster, reset_run_ids
+from repro.obs import MetricsRegistry
+from repro.obs.causal import NULL_CAUSAL
+from repro.obs.query import CausalDag, check_assertions, operation_stats
+from repro.types import site_names
+
+
+def run_workload(
+    *, causal: bool = True, seed: int = 0, metrics=None
+) -> ReplicaCluster:
+    """update; fail last site; update; repair; read -- run ids rewound so
+    reruns are schedule-identical (the determinism contract under test)."""
+    reset_run_ids()
+    sites = site_names(3)
+    cluster = ReplicaCluster(
+        make_protocol("hybrid", sites),
+        initial_value="v0",
+        causal=causal,
+        causal_seed=seed,
+        metrics=metrics,
+    )
+    cluster.submit_update(sites[0], "v1")
+    cluster.settle()
+    cluster.fail_site(sites[-1])
+    cluster.submit_update(sites[0], "v2")
+    cluster.settle()
+    cluster.repair_site(sites[-1])
+    cluster.settle()
+    cluster.submit_read(sites[1])
+    cluster.settle()
+    return cluster
+
+
+def causal_jsonl(cluster: ReplicaCluster) -> str:
+    assert cluster.trace_log is not None
+    return cluster.trace_log.to_jsonl(categories=("causal",))
+
+
+class TestLiveDag:
+    def test_live_run_passes_the_assertion_catalog(self):
+        dag = CausalDag.from_jsonl(causal_jsonl(run_workload()))
+        assert check_assertions(dag) == []
+        assert len(dag.traces()) >= 3  # two updates, recovery, read
+
+    def test_commit_causally_follows_its_votes(self):
+        dag = CausalDag.from_jsonl(causal_jsonl(run_workload()))
+        commits = dag.find("commit")
+        assert commits
+        for commit in commits:
+            ancestors = dag.ancestors(commit.event_id)
+            votes = [
+                v
+                for v in dag.find("vote", run_id=commit.run_id)
+                if v.event_id in ancestors
+            ]
+            assert votes, f"commit of run {commit.run_id} has no vote ancestor"
+
+    def test_critical_path_phases_sum_to_latency(self):
+        dag = CausalDag.from_jsonl(causal_jsonl(run_workload()))
+        rows = {row.run_id: row for row in operation_stats(dag)}
+        for commit in dag.find("commit"):
+            (finish,) = dag.find("finish", trace_id=commit.trace_id)
+            path = dag.critical_path(finish.event_id)
+            assert sum(path.by_phase().values()) == pytest.approx(
+                path.total, abs=1e-12
+            )
+            assert path.total == pytest.approx(rows[commit.run_id].latency)
+
+    def test_messages_carry_contexts_only_when_enabled(self):
+        traced = run_workload(causal=True)
+        assert traced.causal.enabled
+        untraced = run_workload(causal=False)
+        assert untraced.causal is NULL_CAUSAL
+        assert untraced.trace_log is None
+
+
+class TestDeterminism:
+    def test_same_seed_reruns_export_identical_causal_traces(self):
+        first = causal_jsonl(run_workload(seed=11))
+        second = causal_jsonl(run_workload(seed=11))
+        assert first == second
+
+    def test_seed_rekeys_trace_ids_but_not_structure(self):
+        first = CausalDag.from_jsonl(causal_jsonl(run_workload(seed=1)))
+        second = CausalDag.from_jsonl(causal_jsonl(run_workload(seed=2)))
+        assert set(first.traces()).isdisjoint(second.traces())
+        assert [e.kind for e in first.events] == [e.kind for e in second.events]
+        assert [e.lamport for e in first.events] == [
+            e.lamport for e in second.events
+        ]
+
+
+class TestSloMetrics:
+    def test_update_outcomes_feed_op_metrics(self):
+        registry = MetricsRegistry()
+        run_workload(metrics=registry)
+        assert registry.counter("op.committed").value >= 2
+        assert registry.counter("op.aborted").value == 0
+        assert registry.gauge("op.abort.rate").value == 0.0
+        latency = registry.histogram("op.commit.latency")
+        assert latency.describe()["count"] >= 2
+        assert latency.quantile(50) > 0.0
+
+    def test_aborts_move_the_abort_rate(self):
+        registry = MetricsRegistry()
+        reset_run_ids()
+        sites = site_names(3)
+        cluster = ReplicaCluster(
+            make_protocol("hybrid", sites),
+            initial_value="v0",
+            metrics=registry,
+        )
+        cluster.fail_site(sites[1])
+        cluster.fail_site(sites[2])
+        cluster.submit_update(sites[0], "v1")  # minority partition: aborts
+        cluster.settle()
+        assert registry.counter("op.aborted").value == 1
+        assert registry.gauge("op.abort.rate").value == 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for the causal tracer: contexts, clocks, scoping, null mode."""
+
+from __future__ import annotations
+
+from repro.obs import TraceLog
+from repro.obs.causal import (
+    MESSAGE_PHASES,
+    NULL_CAUSAL,
+    TIMER_PHASES,
+    CausalTracer,
+    NullCausalTracer,
+    derive_trace_id,
+)
+from repro.obs.causal import NULL_CONTEXT
+
+
+def tracer(seed: int = 0) -> tuple[CausalTracer, TraceLog]:
+    log = TraceLog()
+    return CausalTracer(log, seed), log
+
+
+class TestTraceIds:
+    def test_derivation_is_deterministic(self):
+        assert derive_trace_id(7, "trace:op:1") == derive_trace_id(7, "trace:op:1")
+
+    def test_derivation_keys_on_seed_and_name(self):
+        base = derive_trace_id(7, "trace:op:1")
+        assert derive_trace_id(8, "trace:op:1") != base
+        assert derive_trace_id(7, "trace:op:2") != base
+
+    def test_trace_id_is_64_bit_hex(self):
+        trace_id = derive_trace_id(0, "x")
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # must parse as hex
+
+    def test_two_tracers_same_seed_mint_identical_contexts(self):
+        first, _ = tracer(seed=3)
+        second, _ = tracer(seed=3)
+        a = first.begin("op:1", "submit", 0.0, site="A")
+        b = second.begin("op:1", "submit", 0.0, site="A")
+        assert a == b
+
+
+class TestEmission:
+    def test_begin_roots_a_trace(self):
+        t, log = tracer()
+        ctx = t.begin("op:1", "submit", 0.0, site="A", run_id=1)
+        assert ctx.event_id == f"{ctx.trace_id}/0"
+        assert ctx.lamport == 1
+        (event,) = log.events
+        assert event.category == "causal"
+        assert event.field("parents") == []
+        assert event.field("run_id") == 1
+
+    def test_event_ids_are_per_trace_counters(self):
+        t, _ = tracer()
+        root = t.begin("op:1", "submit", 0.0, site="A")
+        child = t.emit("send", 0.0, parents=(root,), site="A")
+        grandchild = t.emit("deliver", 0.01, parents=(child,), site="B")
+        assert child.event_id == f"{root.trace_id}/1"
+        assert grandchild.event_id == f"{root.trace_id}/2"
+
+    def test_lamport_advances_past_all_parents(self):
+        t, _ = tracer()
+        root = t.begin("op:1", "submit", 0.0, site="A")
+        fast = t.emit("send", 0.0, parents=(root,), site="A")  # A clock: 2
+        slow = t.emit("deliver", 0.01, parents=(fast,), site="B")  # B: 3
+        join = t.emit("votes-closed", 0.02, parents=(root, slow), site="A")
+        assert join.lamport == max(root.lamport, slow.lamport) + 1
+
+    def test_none_and_duplicate_parents_are_dropped(self):
+        t, log = tracer()
+        root = t.begin("op:1", "submit", 0.0, site="A")
+        child = t.emit("send", 0.0, parents=(None, root, root, None), site="A")
+        assert child.trace_id == root.trace_id
+        assert log.events[-1].field("parents") == [root.event_id]
+
+    def test_parentless_emit_opens_an_orphan_trace(self):
+        t, log = tracer(seed=5)
+        first = t.emit("stray", 0.0, site="A")
+        second = t.emit("stray", 0.0, site="A")
+        assert first.trace_id != second.trace_id
+        assert first.trace_id == derive_trace_id(5, "trace:orphan:1")
+        assert log.events[0].field("parents") == []
+
+    def test_first_parent_wins_the_trace_id(self):
+        t, _ = tracer()
+        a = t.begin("op:1", "submit", 0.0, site="A")
+        b = t.begin("op:2", "submit", 0.0, site="B")
+        joined = t.emit("deliver", 0.01, parents=(b, a), site="C")
+        assert joined.trace_id == b.trace_id
+
+    def test_message_and_timer_phase_maps_cover_the_protocol(self):
+        assert MESSAGE_PHASES["VoteRequest"] == "vote"
+        assert MESSAGE_PHASES["CatchUpReply"] == "catch-up"
+        assert TIMER_PHASES["vote-window"] == "vote"
+        assert TIMER_PHASES["catch-up-window"] == "catch-up"
+
+
+class TestScoping:
+    def test_scope_installs_and_restores_current(self):
+        t, _ = tracer()
+        ctx = t.begin("op:1", "submit", 0.0, site="A")
+        assert t.current is None
+        with t.scope(ctx):
+            assert t.current is ctx
+            inner = t.emit("send", 0.0, parents=(t.current,), site="A")
+            with t.scope(inner):
+                assert t.current is inner
+            assert t.current is ctx
+        assert t.current is None
+
+    def test_scoped_wraps_a_thunk(self):
+        t, _ = tracer()
+        ctx = t.begin("op:1", "submit", 0.0, site="A")
+        seen = []
+        t.scoped(lambda: seen.append(t.current), ctx)()
+        assert seen == [ctx]
+        assert t.current is None
+
+
+class TestNullTracer:
+    def test_null_is_disabled_and_shared(self):
+        assert NULL_CAUSAL.enabled is False
+        assert isinstance(NULL_CAUSAL, NullCausalTracer)
+
+    def test_null_emits_nothing_and_returns_null_context(self):
+        assert NULL_CAUSAL.begin("op:1", "submit", 0.0, site="A") is NULL_CONTEXT
+        assert NULL_CAUSAL.emit("send", 0.0, site="A") is NULL_CONTEXT
+
+    def test_null_scope_is_a_no_op(self):
+        with NULL_CAUSAL.scope(None) as ctx:
+            assert ctx is None
+
+    def test_null_scoped_returns_the_thunk_unchanged(self):
+        def thunk() -> None:
+            pass
+
+        assert NULL_CAUSAL.scoped(thunk, None) is thunk
+
+    def test_enabled_tracer_drops_null_context_parents(self):
+        t, log = tracer()
+        ctx = t.emit("stray", 0.0, parents=(NULL_CONTEXT,), site="A")
+        assert log.events[0].field("parents") == []
+        assert ctx.trace_id == derive_trace_id(0, "trace:orphan:1")

@@ -67,6 +67,44 @@ class TestInstruments:
                 histogram.quantile(bad)
         assert MetricsRegistry().histogram("e").quantile(50) is None
 
+    def test_histogram_quantile_single_sample(self):
+        # Nearest-rank with N = 1: rank = ceil(q/100) = 1 for every valid
+        # q, so the lone sample answers all quantiles.
+        histogram = MetricsRegistry().histogram("one")
+        histogram.observe(42.0)
+        for q in (1, 50, 99, 100):
+            assert histogram.quantile(q) == 42.0
+
+    def test_histogram_quantile_duplicate_heavy(self):
+        # 97 copies of 1.0 plus 2.0, 3.0, 4.0: the duplicate plateau must
+        # answer every quantile up to its own rank, and the tail values
+        # appear exactly at ranks 98..100 (no off-by-one into the
+        # plateau or past the maximum).
+        histogram = MetricsRegistry().histogram("dup")
+        for _ in range(97):
+            histogram.observe(1.0)
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.quantile(1) == 1.0
+        assert histogram.quantile(97) == 1.0
+        assert histogram.quantile(98) == 2.0
+        assert histogram.quantile(99) == 3.0
+        assert histogram.quantile(100) == 4.0
+
+    def test_histogram_quantile_matches_ceil_reference(self):
+        # The implementation's -(-q * n // 100) must equal the textbook
+        # nearest-rank ceil(q * n / 100) for every (q, n) pair in range.
+        import math
+
+        for n in (1, 2, 3, 7, 10, 99, 100, 101):
+            histogram = MetricsRegistry().histogram(f"ref{n}")
+            for value in range(n):
+                histogram.observe(float(value))
+            ordered = sorted(float(v) for v in range(n))
+            for q in range(1, 101):
+                rank = math.ceil(q * n / 100)
+                assert histogram.quantile(q) == ordered[rank - 1], (q, n)
+
     def test_same_name_returns_same_instrument(self):
         registry = MetricsRegistry()
         assert registry.counter("x") is registry.counter("x")

@@ -251,6 +251,82 @@ class TestCheckCommand:
         assert "unknown protocol" in capsys.readouterr().err
 
 
+class TestTraceCausalModes:
+    def test_causal_mode_renders_per_trace_listing(self, capsys):
+        assert main(["trace", "causal", "--protocol", "hybrid", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "submit" in out
+        assert "commit" in out
+        assert "<-" in out  # parent edges are shown
+
+    def test_causal_jsonl_is_pure_causal_category(self, capsys):
+        assert main(["trace", "causal", "-n", "3", "--jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) > 20
+        events = [json.loads(line) for line in lines]
+        assert all(e["category"] == "causal" for e in events)
+        assert any(e["fields"]["event"] == "commit" for e in events)
+
+    def test_causal_jsonl_is_deterministic_for_a_seed(self, capsys):
+        def export():
+            main(["trace", "causal", "-n", "3", "--jsonl", "--seed", "7"])
+            return capsys.readouterr().out
+
+        assert export() == export()
+
+    def test_critical_path_reports_per_phase_latency(self, capsys):
+        assert main(["trace", "critical-path", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "committed version" in out
+        assert "latency" in out
+        # The per-phase breakdown bills protocol phases, not raw events.
+        assert "vote" in out
+
+    def test_critical_path_reads_an_exported_file(self, tmp_path, capsys):
+        main(["trace", "causal", "-n", "3", "--jsonl"])
+        artifact = tmp_path / "trace.jsonl"
+        artifact.write_text(capsys.readouterr().out)
+        assert main(["trace", "critical-path", "--input", str(artifact)]) == 0
+        assert "committed version" in capsys.readouterr().out
+
+    def test_assert_passes_on_a_clean_run(self, capsys):
+        assert main(["trace", "assert", "-n", "3"]) == 0
+        assert "causal trace clean" in capsys.readouterr().out
+
+    def test_assert_fails_on_a_fork_bug_counterexample(self, tmp_path, capsys):
+        artifact = tmp_path / "fork.jsonl"
+        main(
+            [
+                "check",
+                "--protocol",
+                "dynamic",
+                "--updates",
+                "1",
+                "--depth",
+                "8",
+                "--inject-fork-bug",
+                "--counterexample",
+                str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "assert", "--input", str(artifact)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "install-within-participants" in captured.out
+        assert "violated" in captured.err
+
+    def test_legacy_trace_has_no_causal_lines(self, capsys):
+        # Plain `repro trace` predates causal mode and must stay unchanged.
+        assert main(["trace", "-n", "3", "--jsonl"]) == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert all(e["category"] != "causal" for e in events)
+
+
 class TestArtifactCommand:
     def test_artifact_written(self, tmp_path, capsys):
         from repro.cli import main
@@ -325,9 +401,10 @@ class TestBenchCommands:
             "mc.vectorized.hybrid.n5",
             "markov.grid.batched.n5",
             "markov.grid.horner.n5",
+            "netsim.causal.overhead.n5",
         }
         assert all(r["git"] for r in run_doc["records"])
-        assert len(history.read_text().splitlines()) == 4
+        assert len(history.read_text().splitlines()) == 5
         assert json.loads(trajectory.read_text())["schema"] == (
             "repro.bench-trajectory/1"
         )
