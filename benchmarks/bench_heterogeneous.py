@@ -15,10 +15,16 @@ Findings pinned here:
   when all rates agree.
 """
 
+import pytest
+
 from repro.analysis import render_table
 from repro.core import make_protocol
 from repro.markov import availability, heterogeneous_availability
-from repro.quorums import optimal_vote_assignment
+from repro.quorums import (
+    VoteAssignment,
+    local_search_vote_assignment,
+    optimal_vote_assignment,
+)
 from repro.types import site_names
 
 N = 5
@@ -76,9 +82,39 @@ def test_optimal_static_assignment(benchmark):
     assert result.votes["A"] >= 1
     assert result.votes["B"] == result.votes["C"] == 0
     # ... and beats the uniform assignment.
-    from repro.quorums import VoteAssignment
-
     uniform = VoteAssignment.uniform(site_names(3)).site_availability(
         {"A": 0.95, "B": 0.60, "C": 0.60}
     )
     assert result.availability > uniform
+
+
+def test_local_search_assignment_at_n25(benchmark):
+    """The static-assignment baseline at n=25, where enumeration cannot go.
+
+    Multi-start steepest ascent with DP evaluation (a few thousand
+    polynomial passes instead of 4^25 enumerations) on a deterministic
+    reliability ladder.  The shape assertions pin the economics: votes
+    are monotone in reliability, the least reliable sites are stripped
+    to zero, and the result strictly beats uniform voting.  The value
+    itself is pinned -- search and evaluator are fully deterministic.
+    """
+    sites = site_names(25)
+    probs = {s: 0.55 + 0.4 * i / 24 for i, s in enumerate(sites)}
+
+    def search():
+        return local_search_vote_assignment(
+            sites, probs, max_votes_per_site=3, measure="site"
+        )
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    print(
+        f"\nn=25 local search: availability {result.availability:.6f} "
+        f"({result.evaluated} DP evaluations)"
+    )
+    uniform = VoteAssignment.uniform(sites).site_availability(probs, method="dp")
+    assert result.availability > uniform
+    assert result.availability == pytest.approx(0.749795386694915, abs=1e-12)
+    ordered = [result.votes[s] for s in sites]
+    assert ordered == sorted(ordered), "votes must be monotone in reliability"
+    assert result.votes[sites[0]] == 0
+    assert result.votes[sites[-1]] == 3

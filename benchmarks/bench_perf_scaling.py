@@ -38,7 +38,11 @@ from repro.markov import (
     availability_symbolic,
     chain_for,
     clear_symbolic_cache,
+    derive_chain,
+    derive_lumped_chain,
+    signature_for,
 )
+from repro.markov.availability import _chain
 from repro.netsim import ReplicaCluster
 from repro.obs import Stopwatch, use
 from repro.obs.causal import NULL_CAUSAL
@@ -55,6 +59,22 @@ VECTOR_KWARGS = dict(replicates=256, events=2_000, seed=2026)
 VECTOR_MIN_SPEEDUP = 10.0
 GRID = [0.1 + 19.9 * i / 199 for i in range(200)]
 CHAIN_PROTOCOLS = ("dynamic", "dynamic-linear", "hybrid")
+#: Largest n where the site-labelled dense pipeline is still tractable
+#: (dynamic at n=7 is 2136 states; n=8 would cross the dense
+#: materialization limit).  The lump-then-solve comparison runs here.
+DENSE_CEILING_N = 7
+#: Spot ratios for the dense-vs-lumped pipeline race (per-point dense
+#: solves at 2136 states are ~0.25s each, so the dense side stays small).
+DENSE_RACE_RATIOS = (0.5, 1.0, 2.0, 5.0)
+#: Floor asserted on the lump-then-solve pipeline speedup over the dense
+#: site-labelled pipeline at DENSE_CEILING_N (measured ~400x; the floor
+#: is a deliberately loose contract, not the observed win).
+LUMP_MIN_SPEEDUP = 5.0
+#: The large-n scenarios: lumped state spaces are O(n) blocks, so a
+#: 60-point grid at n=25 solves in milliseconds.
+LARGE_N = 25
+LARGE_GRID = [0.1 + 19.9 * i / 59 for i in range(60)]
+LARGE_PROTOCOLS = ("dynamic", "hybrid", "optimal-candidate")
 #: Ceiling on the *enabled* causal-tracing tax over a trace-only netsim
 #: run.  Full-fidelity DAG emission (one causal event per send, deliver,
 #: timer, vote, commit, install) measures ~2.1-2.6x on this op-dense
@@ -197,6 +217,90 @@ def test_perf_scaling_smoke(bench_manifest):
             "horner_sweep_s": horner_s,
             "points_per_sec": len(GRID) / horner_s,
         },
+    )
+
+    # -- Lump-then-solve vs the dense site-labelled pipeline, raced at
+    #    the largest n where dense is still tractable.  Both sides pay
+    #    their full cost: chain construction plus every spot-ratio solve.
+    protocol_obj = make_protocol("dynamic", site_names(DENSE_CEILING_N))
+    with use(bench_manifest.registry):
+        dense_vals, dense_s = _timed(
+            lambda: [
+                derive_chain(protocol_obj).availability(ratio, solver="dense")
+                for ratio in DENSE_RACE_RATIOS
+            ]
+        )
+    signature = signature_for("dynamic")
+    assert signature is not None
+    with use(bench_manifest.registry):
+        lumped_vals, lumped_s = _timed(
+            lambda: [
+                derive_lumped_chain(protocol_obj, signature).availability(
+                    ratio, solver="sparse"
+                )
+                for ratio in DENSE_RACE_RATIOS
+            ]
+        )
+    assert max(
+        abs(a - b) for a, b in zip(dense_vals, lumped_vals)
+    ) <= 1e-9, "lumped-sparse pipeline drifted from the dense site-labelled one"
+    lump_speedup = dense_s / lumped_s
+    assert lump_speedup >= LUMP_MIN_SPEEDUP, (
+        f"lump-then-solve managed only {lump_speedup:.1f}x over the dense "
+        f"site-labelled pipeline at n={DENSE_CEILING_N} "
+        f"(contract: >= {LUMP_MIN_SPEEDUP:.0f}x)"
+    )
+    rows.append(
+        [f"lump+sparse n={DENSE_CEILING_N} ({len(DENSE_RACE_RATIOS)} pts)",
+         dense_s, lumped_s, lump_speedup]
+    )
+    gauges = bench_manifest.registry.scope("bench.perf.lumped")
+    gauges.gauge("pipeline_speedup", wall_clock=True).set(lump_speedup)
+
+    # -- The n=25 scenarios of `repro bench run --suite perf`: a cold
+    #    lumped build+solve sweep, then a warm sparse-forced sweep.
+    _chain.cache_clear()
+    with use(bench_manifest.registry):
+        _, lumped25_s = _timed(
+            lambda: [
+                availability_grid(
+                    name, LARGE_N, LARGE_GRID, prefer_symbolic=False
+                )
+                for name in LARGE_PROTOCOLS
+            ]
+        )
+    with use(bench_manifest.registry):
+        _, sparse25_s = _timed(
+            lambda: [
+                availability_grid(
+                    name, LARGE_N, LARGE_GRID,
+                    prefer_symbolic=False, solver="sparse",
+                )
+                for name in LARGE_PROTOCOLS
+            ]
+        )
+    large_points = len(LARGE_PROTOCOLS) * len(LARGE_GRID)
+    bench_manifest.record(
+        "markov.lumped.n25",
+        params={"protocols": list(LARGE_PROTOCOLS), "n_sites": LARGE_N,
+                "grid_points": len(LARGE_GRID)},
+        timings={
+            "lumped_wall_s": lumped25_s,
+            "points_per_sec": large_points / lumped25_s,
+        },
+    )
+    bench_manifest.record(
+        "markov.sparse.n25",
+        params={"protocols": list(LARGE_PROTOCOLS), "n_sites": LARGE_N,
+                "grid_points": len(LARGE_GRID), "solver": "sparse"},
+        timings={
+            "sparse_wall_s": sparse25_s,
+            "points_per_sec": large_points / sparse25_s,
+        },
+    )
+    rows.append(
+        [f"n={LARGE_N} grid cold/warm ({len(LARGE_GRID)} pts)",
+         lumped25_s, sparse25_s, lumped25_s / sparse25_s]
     )
 
     # -- Causal tracing: the disabled default must be the null object and

@@ -12,11 +12,24 @@ The vectorized Monte-Carlo backend extends the cross-check to cluster
 sizes the scalar engine cannot sweep in CI time: at n = 7 and n = 9 the
 *protocol implementations themselves* (run through the numpy kernels)
 are pitted against the analytic chains.
+
+The lump-then-solve pipeline extends the discipline to n = 25-50: the
+sparse and dense float factorizations cross-check each other over the
+full grid (``solver_agreement``), and exact Fraction elimination of the
+lumped chain pins the float pipeline at spot ratios
+(``lumped_chain_agreement``) -- rational arithmetic stays affordable at
+any n because the lumped chains are O(n) blocks.
 """
 
 from fractions import Fraction
 
-from repro.analysis import grid_agreement, montecarlo_agreement, paper_grid
+from repro.analysis import (
+    grid_agreement,
+    lumped_chain_agreement,
+    montecarlo_agreement,
+    paper_grid,
+    solver_agreement,
+)
 from repro.markov import availability_exact
 
 
@@ -76,6 +89,64 @@ def test_vectorized_montecarlo_validation_at_large_n(benchmark):
         )
     assert len(reports) == 4
     assert all(report["backend"] == "vectorized" for report in reports)
+
+
+def test_large_n_solver_cross_validation(benchmark):
+    """Sparse vs dense factorizations over the full paper grid at n=25.
+
+    Both run the same lumped chain, so any disagreement isolates the
+    linear algebra: CSC assembly + SuperLU against the stacked dense
+    LAPACK solve.  This is the n=25 counterpart of ``run_grid`` above,
+    where per-point Fraction elimination of the site-labelled chain is
+    no longer affordable.
+    """
+
+    def sweep():
+        return {
+            name: solver_agreement(name, 25)
+            for name in ("voting", "dynamic", "hybrid", "optimal-candidate")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(
+            f"  {name:17s}: n={result.n_sites} {result.points} points, "
+            f"max |dense - sparse| = {result.max_abs_error:.2e}"
+        )
+        assert result.ok(1e-12), name
+    assert sum(r.points for r in results.values()) == 800
+
+
+def test_large_n_exact_spot_checks(benchmark):
+    """Fraction elimination of the lumped chains pins the float path.
+
+    The paper's rational-arithmetic discipline, carried to n=25 and
+    n=50: the lumped state spaces stay O(n) blocks, so exact Gaussian
+    elimination remains affordable where the 2^n site-labelled sweep is
+    out of reach.
+    """
+
+    def sweep():
+        checks = []
+        for protocol, n in (
+            ("dynamic", 25),
+            ("hybrid", 25),
+            ("modified-hybrid", 25),
+            ("dynamic", 50),
+        ):
+            checks.append(lumped_chain_agreement(protocol, n))
+        return checks
+
+    checks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for result in checks:
+        print(
+            f"  {result.protocol:17s}: n={result.n_sites} "
+            f"{result.points} exact ratios, "
+            f"max |float - exact| = {result.max_abs_error:.2e}"
+        )
+        assert result.ok(1e-12), result.protocol
 
 
 def test_theorem3_ordering_on_the_grid(benchmark):

@@ -38,8 +38,10 @@ from .validation import (
     GridAgreement,
     derived_chain_agreement,
     grid_agreement,
+    lumped_chain_agreement,
     montecarlo_agreement,
     paper_grid,
+    solver_agreement,
 )
 
 __all__ = [
@@ -72,5 +74,7 @@ __all__ = [
     "grid_agreement",
     "montecarlo_agreement",
     "derived_chain_agreement",
+    "lumped_chain_agreement",
+    "solver_agreement",
     "paper_grid",
 ]

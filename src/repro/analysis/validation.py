@@ -24,7 +24,14 @@ from collections.abc import Sequence
 
 from ..core.registry import make_protocol
 from ..errors import AnalysisError
-from ..markov import availability, availability_exact, availability_grid, derive_chain
+from ..markov import (
+    availability,
+    availability_exact,
+    availability_grid,
+    derive_chain,
+    derive_lumped_chain,
+    signature_for,
+)
 from ..obs.metrics import MetricsRegistry
 from ..sim import estimate_availability
 from ..types import site_names
@@ -34,6 +41,8 @@ __all__ = [
     "grid_agreement",
     "montecarlo_agreement",
     "derived_chain_agreement",
+    "lumped_chain_agreement",
+    "solver_agreement",
     "paper_grid",
 ]
 
@@ -168,3 +177,63 @@ def derived_chain_agreement(
         "derived_states": derived.size,
         "max_abs_error": worst,
     }
+
+
+def solver_agreement(
+    protocol: str,
+    n: int,
+    ratios: Sequence[float] | None = None,
+) -> GridAgreement:
+    """Compare the sparse and dense float solvers across a ratio grid.
+
+    Both backends run against the *same* lump-then-solve chain, so any
+    disagreement isolates the linear algebra itself -- CSR assembly + LU
+    versus the stacked dense LAPACK solve.  This is the large-n
+    counterpart of :func:`grid_agreement`: at n=25-50 the exact Fraction
+    sweep is no longer affordable per point, but the two independent
+    float factorisations still cross-check each other at full grid
+    resolution.
+    """
+    if ratios is None:
+        ratios = [float(ratio) for ratio in paper_grid()]
+    points = [float(ratio) for ratio in ratios]
+    dense = availability_grid(
+        protocol, n, points, prefer_symbolic=False, solver="dense"
+    )
+    sparse = availability_grid(
+        protocol, n, points, prefer_symbolic=False, solver="sparse"
+    )
+    worst = max(
+        abs(a - b) for a, b in zip(dense, sparse)
+    )
+    return GridAgreement(protocol, n, len(points), worst)
+
+
+def lumped_chain_agreement(
+    protocol: str,
+    n: int,
+    ratios: Sequence[Fraction] = (Fraction(1, 2), Fraction(1), Fraction(3)),
+) -> GridAgreement:
+    """Pin the lumped pipeline to exact arithmetic at spot ratios.
+
+    Re-derives the lumped chain from the protocol implementation and
+    solves it *exactly* (Fraction elimination), comparing against the
+    float pipeline value at each ratio.  Exact arithmetic on the lumped
+    chain is affordable at any n (the chain is O(n) states), so this
+    extends the paper's rational-arithmetic discipline to the n=25-50
+    regime where the site-labelled exact sweep cannot follow.  Raises
+    :class:`AnalysisError` if the protocol has no registered lumping
+    signature.
+    """
+    signature = signature_for(protocol)
+    if signature is None:
+        raise AnalysisError(
+            f"no lumping signature registered for {protocol!r}"
+        )
+    lumped = derive_lumped_chain(make_protocol(protocol, site_names(n)), signature)
+    worst = 0.0
+    for ratio in ratios:
+        exact = float(lumped.availability_exact(Fraction(ratio)))
+        numeric = availability(protocol, n, float(ratio))
+        worst = max(worst, abs(exact - numeric))
+    return GridAgreement(protocol, n, len(ratios), worst)

@@ -48,7 +48,7 @@ from .bench import (
     write_trajectory,
 )
 from .check import runner as check_runner
-from .errors import BenchError
+from .errors import BenchError, ReproError
 from .lint import runner as lint_runner
 from .obs import (
     CausalDag,
@@ -125,6 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("chain", help="dump a protocol's Markov chain (Fig. 2)")
     p.add_argument("--protocol", default="hybrid")
     p.add_argument("-n", "--sites", type=int, default=5)
+
+    p = sub.add_parser(
+        "grid",
+        help="availability across a ratio grid (lump-then-solve pipeline)",
+        description=(
+            "Solves one protocol's availability over a ratio grid "
+            "through the large-n pipeline: the chain is derived lumped "
+            "(O(n) states) and the steady states are solved dense or "
+            "sparse.  --solver forces a backend; auto routes by chain "
+            "size (docs/PERFORMANCE.md, 'Large-n solvers')."
+        ),
+    )
+    p.add_argument("--protocol", default="dynamic")
+    p.add_argument("-n", "--sites", type=int, default=25)
+    p.add_argument("--start", type=float, default=0.5,
+                   help="first repair/failure ratio (default 0.5)")
+    p.add_argument("--stop", type=float, default=20.0,
+                   help="last repair/failure ratio (default 20.0)")
+    p.add_argument("--points", type=int, default=40,
+                   help="number of grid points (default 40)")
+    p.add_argument("--solver", choices=("auto", "dense", "sparse"),
+                   default="auto",
+                   help="steady-state backend (default auto)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the grid as JSON instead of a text table")
 
     p = sub.add_parser("compare", help="availability matrix at fixed n")
     p.add_argument("-n", "--sites", type=int, default=5)
@@ -564,9 +589,11 @@ def _perf_scenario(
 def _perf_suite_records(seed: int, quick: bool) -> list[BenchRecord]:
     """The ``perf`` suite: the fast paths ROADMAP protects, measured.
 
-    Four scenarios -- scalar Monte-Carlo, the vectorized backend, the
-    batched Markov grid, the Horner symbolic sweep -- mirroring
-    ``benchmarks/bench_perf_scaling.py``.  ``quick`` shrinks the
+    The scenarios -- scalar Monte-Carlo, the vectorized backend, the
+    batched Markov grid, the Horner symbolic sweep, the n=25
+    lump-then-solve pipeline (cold build and sparse solve), and the
+    netsim causal overhead -- mirror ``benchmarks/bench_perf_scaling.py``
+    and docs/PERFORMANCE.md.  ``quick`` shrinks the
     workloads to test size without changing the scenario ids, so quick
     and full runs still compare (their params differ, which disables the
     determinism-drift check across the two modes).
@@ -669,6 +696,68 @@ def _perf_suite_records(seed: int, quick: bool) -> list[BenchRecord]:
         )
     )
     clear_symbolic_cache()
+    from .markov.availability import _chain
+
+    large_points = 10 if quick else 60
+    large_grid = [
+        0.1 + 19.9 * i / (large_points - 1) for i in range(large_points)
+    ]
+    large_protocols = ("dynamic", "hybrid", "optimal-candidate")
+
+    def _lumped_n25(registry: MetricsRegistry) -> list[list[float]]:
+        _chain.cache_clear()  # measure the streaming lumped build too
+        return [
+            availability_grid(name, 25, large_grid, prefer_symbolic=False)
+            for name in large_protocols
+        ]
+
+    records.append(
+        _perf_scenario(
+            "perf",
+            "markov.lumped.n25",
+            seed=None,
+            params={
+                "protocols": list(large_protocols),
+                "n_sites": 25,
+                "grid_points": large_points,
+            },
+            run=_lumped_n25,
+            timings_from=lambda result, seconds: {
+                "lumped_wall_s": seconds,
+                "points_per_sec": (
+                    len(large_protocols) * large_points / seconds
+                ),
+            },
+        )
+    )
+    for name in large_protocols:  # prebuild so only the solve is timed
+        availability(name, 25, 1.0)
+    records.append(
+        _perf_scenario(
+            "perf",
+            "markov.sparse.n25",
+            seed=None,
+            params={
+                "protocols": list(large_protocols),
+                "n_sites": 25,
+                "grid_points": large_points,
+                "solver": "sparse",
+            },
+            run=lambda registry: [
+                availability_grid(
+                    name, 25, large_grid,
+                    prefer_symbolic=False, solver="sparse",
+                )
+                for name in large_protocols
+            ],
+            timings_from=lambda result, seconds: {
+                "sparse_wall_s": seconds,
+                "points_per_sec": (
+                    len(large_protocols) * large_points / seconds
+                ),
+            },
+        )
+    )
     rounds, reps = (6, 2) if quick else (30, 3)
 
     def _causal_overhead(registry: MetricsRegistry) -> dict[str, float]:
@@ -712,6 +801,74 @@ def _perf_suite_records(seed: int, quick: bool) -> list[BenchRecord]:
         )
     )
     return records
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """``repro grid``: one protocol's availability curve, any solver.
+
+    Runs under a private metrics registry and prints which solve paths
+    actually fired, so forcing ``--solver sparse`` is verifiable from
+    the output alone.
+    """
+    if args.points < 1:
+        print("need at least one grid point", file=sys.stderr)
+        return 2
+    if args.start <= 0 or args.stop < args.start:
+        print("need 0 < start <= stop", file=sys.stderr)
+        return 2
+    if args.points == 1:
+        ratios = [float(args.start)]
+    else:
+        step = (args.stop - args.start) / (args.points - 1)
+        ratios = [args.start + step * i for i in range(args.points)]
+    registry = MetricsRegistry()
+    stopwatch = Stopwatch()
+    try:
+        with use(registry):
+            values = availability_grid(
+                args.protocol,
+                args.sites,
+                ratios,
+                prefer_symbolic=False,
+                solver=args.solver,
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    seconds = stopwatch.seconds
+    solves = {
+        mode: registry.counter(f"markov.solve.{mode}").value
+        for mode in ("batched", "sparse", "numeric")
+        if registry.counter(f"markov.solve.{mode}").value
+    }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "protocol": args.protocol,
+                    "n_sites": args.sites,
+                    "solver": args.solver,
+                    "solves": solves,
+                    "seconds": seconds,
+                    "grid": [
+                        {"ratio": ratio, "availability": value}
+                        for ratio, value in zip(ratios, values)
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{args.protocol} n={args.sites} solver={args.solver} "
+        f"({args.points} points in {seconds:.3f}s; solves: "
+        f"{' '.join(f'{k}={v}' for k, v in sorted(solves.items())) or 'none'})"
+    )
+    print(f"{'mu/lambda':>10}  availability")
+    for ratio, value in zip(ratios, values):
+        print(f"{ratio:>10.3f}  {value:.9f}")
+    return 0
 
 
 def _bench_run(args: argparse.Namespace) -> int:
@@ -797,6 +954,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 target = state_tuple(target, args.sites)
             print(f"  {source} -> {target}  @ {' + '.join(rate)}")
         return 0
+    if args.command == "grid":
+        return _cmd_grid(args)
     if args.command == "compare":
         registry = MetricsRegistry() if args.manifest else None
         stopwatch = Stopwatch()

@@ -23,6 +23,7 @@ from .availability import grid as availability_grid
 from .builder import (
     Configuration,
     derive_chain,
+    derive_lumped_chain,
     verify_stale_partitions_blocked,
 )
 from .chains import (
@@ -39,14 +40,19 @@ from .chains import (
     voting_availability,
     voting_chain,
 )
-from .ctmc import Arc, ChainSpec
+from .ctmc import SPARSE_THRESHOLD, Arc, ChainSpec
 from .lumping import (
+    LUMP_SIGNATURES,
+    class_signature,
     dynamic_linear_signature,
     dynamic_signature,
     hybrid_signature,
     lump_chain,
+    modified_hybrid_signature,
+    signature_for,
     voting_signature,
 )
+from .sparse import sparse_steady_state, sparse_steady_state_grid
 from .transient import (
     expected_blocked_fraction,
     mean_time_to_blocking,
@@ -73,8 +79,12 @@ __all__ = [
     "CHAIN_BUILDERS",
     "chain_for",
     "derive_chain",
+    "derive_lumped_chain",
     "verify_stale_partitions_blocked",
     "Configuration",
+    "SPARSE_THRESHOLD",
+    "sparse_steady_state",
+    "sparse_steady_state_grid",
     "availability",
     "heterogeneous_availability",
     "transient_availability",
@@ -82,7 +92,11 @@ __all__ = [
     "hybrid_signature",
     "dynamic_signature",
     "dynamic_linear_signature",
+    "modified_hybrid_signature",
     "voting_signature",
+    "class_signature",
+    "signature_for",
+    "LUMP_SIGNATURES",
     "mean_time_to_blocking",
     "expected_blocked_fraction",
     "heterogeneous_steady_state",

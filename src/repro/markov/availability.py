@@ -15,10 +15,13 @@ import functools
 from collections.abc import Sequence
 from fractions import Fraction
 
-from ..errors import AnalysisError
+from ..core.registry import make_protocol
+from ..errors import AnalysisError, ReproError
 from ..obs.metrics import global_registry
 from ..obs.profile import hotpath
 from ..ratfunc import Polynomial, RationalFunction
+from ..types import site_names
+from .builder import derive_lumped_chain
 from .chains import (
     chain_for,
     primary_copy_availability,
@@ -29,6 +32,7 @@ from .chains import (
     voting_availability_float,
 )
 from .ctmc import ChainSpec
+from .lumping import signature_for
 
 __all__ = [
     "availability",
@@ -71,7 +75,31 @@ _CLOSED_FORMS_FLOAT = {
 
 @functools.lru_cache(maxsize=256)
 def _chain(protocol_name: str, n: int) -> ChainSpec:
-    return chain_for(protocol_name, n)
+    """The protocol's chain -- lump-then-solve is the default pipeline.
+
+    When a strongly lumpable signature is registered
+    (:data:`repro.markov.lumping.LUMP_SIGNATURES`), the chain is derived
+    directly from the protocol implementation with one representative
+    per block: O(n) states at any n, which is what carries the
+    availability curves to n=25-50.  Protocols without a signature fall
+    through to the hand-built :func:`chain_for` transparently, as does
+    any instance the derivation rejects (e.g. an n below the protocol's
+    minimum) -- the pipeline is a strict superset of the old path, and
+    the lumped-vs-hand-built equality is pinned by the tests.
+    """
+    signature = signature_for(protocol_name)
+    if signature is None:
+        return chain_for(protocol_name, n)
+    try:
+        protocol = make_protocol(protocol_name, site_names(n))
+        return derive_lumped_chain(
+            protocol, signature, name=f"lumped:{protocol_name}[n={n}]"
+        )
+    except ReproError:
+        registry = global_registry()
+        if registry.enabled:
+            registry.counter("markov.build.fallback").inc()
+        return chain_for(protocol_name, n)
 
 
 def _check(protocol_name: str) -> None:
@@ -195,6 +223,7 @@ def grid(
     ratios: Sequence[float],
     *,
     prefer_symbolic: bool = True,
+    solver: str = "auto",
 ) -> tuple[float, ...]:
     """Site availabilities across a whole ratio grid -- the unified fast
     entry point for Section VI's curves (Figs. 3 and 4, the validation
@@ -208,12 +237,17 @@ def grid(
       (``prefer_symbolic=True``, the default) evaluate the rational
       function by float Horner per point -- no solves;
     * otherwise all K points are solved in **one** batched
-      ``np.linalg.solve`` call via :meth:`ChainSpec.availability_grid`.
+      ``np.linalg.solve`` call via :meth:`ChainSpec.availability_grid`
+      -- or through the scipy.sparse backend when the chain is large or
+      ``solver="sparse"`` forces it (``solver`` also accepts ``"dense"``;
+      forcing a backend disables the Horner shortcut so the requested
+      solver actually runs).
 
     Every path agrees with per-point :func:`availability` to ~1e-12
     (verified in the tests); solve telemetry lands on the global metrics
-    registry (``markov.solve.batched`` / ``markov.solve.horner`` plus the
-    ``markov.solve.grid_size`` histogram, docs/OBSERVABILITY.md).
+    registry (``markov.solve.batched`` / ``markov.solve.horner`` /
+    ``markov.solve.sparse`` plus the ``markov.solve.grid_size``
+    histogram, docs/OBSERVABILITY.md).
     """
     _check(protocol_name)
     points = [float(ratio) for ratio in ratios]
@@ -222,7 +256,11 @@ def grid(
     if protocol_name in _CLOSED_FORMS_FLOAT:
         form = _CLOSED_FORMS_FLOAT[protocol_name]
         return tuple(form(n, point) for point in points)
-    if prefer_symbolic and symbolic_cached(protocol_name, n):
+    if (
+        solver == "auto"
+        and prefer_symbolic
+        and symbolic_cached(protocol_name, n)
+    ):
         registry = global_registry()
         if registry.enabled:
             registry.counter("markov.solve.horner").inc()
@@ -231,7 +269,9 @@ def grid(
         with hotpath("markov.grid.horner"):
             return tuple(symbolic.evaluate_grid(points))
     with hotpath("markov.grid.batched"):
-        values = _chain(protocol_name, n).availability_grid(points)
+        values = _chain(protocol_name, n).availability_grid(
+            points, solver=solver
+        )
     return tuple(float(value) for value in values)
 
 

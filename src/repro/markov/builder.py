@@ -9,8 +9,9 @@ model and assembles the resulting exact Markov chain.
 A configuration is ``(up, current, metadata)`` -- which sites are up,
 which sites hold the current version, and the metadata those copies share
 (any hashable metadata type with a ``version`` and ``with_version``, so
-vote-ledger protocols derive chains through the same machinery).  Under the frequent-update assumption this is a complete
-state description: stale copies can never influence a decision (a partition
+vote-ledger protocols derive chains through the same machinery).  Under
+the frequent-update assumption this is a complete state description:
+stale copies can never influence a decision (a partition
 whose freshest copy is stale is never distinguished -- the paper's Theorem
 1 invariant, verified exhaustively by
 :func:`verify_stale_partitions_blocked`), so their metadata is irrelevant.
@@ -26,6 +27,7 @@ what the validation tests assert.
 from __future__ import annotations
 
 from fractions import Fraction
+from collections.abc import Callable, Hashable
 
 from ..core.base import ReplicaControlProtocol
 from ..core.decision import UpdateContext
@@ -33,9 +35,14 @@ from ..core.metadata import ReplicaMetadata
 from ..errors import ChainError
 from ..obs.metrics import global_registry
 from ..types import SiteId
-from .ctmc import Arc, ChainSpec
+from .ctmc import ChainSpec
 
-__all__ = ["Configuration", "derive_chain", "verify_stale_partitions_blocked"]
+__all__ = [
+    "Configuration",
+    "derive_chain",
+    "derive_lumped_chain",
+    "verify_stale_partitions_blocked",
+]
 
 #: A concrete model state: (up sites, current sites, shared metadata
 #: normalised to version 1).
@@ -87,52 +94,159 @@ def _successor(
     return (new_up, new_up, outcome.metadata.with_version(_CURRENT_VERSION))
 
 
+def _observe_build(kind: str, *, states: int, arcs: int, expansions: int) -> None:
+    """Build telemetry: legacy ``markov.builder.*`` totals plus the
+    per-path ``markov.build.<kind>.*`` series (docs/OBSERVABILITY.md)."""
+    registry = global_registry()
+    if not registry.enabled:
+        return
+    registry.counter("markov.builder.chains").inc()
+    registry.counter("markov.builder.configurations").inc(states)
+    registry.counter("markov.builder.arcs").inc(arcs)
+    scope = registry.scope(f"markov.build.{kind}")
+    scope.counter("chains").inc()
+    scope.counter("states").inc(states)
+    scope.counter("arcs").inc(arcs)
+    scope.counter("expansions").inc(expansions)
+
+
 def derive_chain(
     protocol: ReplicaControlProtocol, max_states: int = 50_000
 ) -> ChainSpec:
     """Breadth-first exploration of the model's reachable configurations.
 
     Returns an exact (site-labelled) :class:`ChainSpec` whose availability
-    must agree with the protocol's hand-built lumped chain.
+    must agree with the protocol's hand-built lumped chain.  Arcs stream
+    into an indexed ``(source, target) -> (failures, repairs)`` table as
+    the frontier advances -- memory is O(states + distinct arcs), never a
+    per-transition list (each expansion emits n transitions, so the old
+    arc list dominated everything at large n).
     """
     initial = _initial_configuration(protocol)
     sites = sorted(protocol.sites)
-    seen: set[Configuration] = {initial}
+    index: dict[Configuration, int] = {initial: 0}
+    order: list[Configuration] = [initial]
     frontier: list[Configuration] = [initial]
-    arcs: list[Arc] = []
+    arcs: dict[tuple[int, int], list[int]] = {}
+    expansions = 0
     while frontier:
         config = frontier.pop()
+        source = index[config]
         up = config[0]
+        expansions += 1
         for site in sites:
             if site in up:
-                new_up = up - {site}
-                successor = _successor(protocol, config, new_up, site)
-                arcs.append(Arc(config, successor, failures=1))
+                successor = _successor(protocol, config, up - {site}, site)
+                slot = 0
             else:
-                new_up = up | {site}
-                successor = _successor(protocol, config, new_up, None)
-                arcs.append(Arc(config, successor, repairs=1))
-            if successor not in seen:
-                seen.add(successor)
-                if len(seen) > max_states:
+                successor = _successor(protocol, config, up | {site}, None)
+                slot = 1
+            target = index.get(successor)
+            if target is None:
+                if len(index) >= max_states:
                     raise ChainError(
                         f"derived chain for {protocol.name} exceeds "
                         f"{max_states} states; raise max_states if intended"
                     )
+                target = len(order)
+                index[successor] = target
+                order.append(successor)
                 frontier.append(successor)
+            entry = arcs.setdefault((source, target), [0, 0])
+            entry[slot] += 1
     n = protocol.n_sites
     weights = {
         config: Fraction(len(config[0]), n)
-        for config in seen
+        for config in order
         if config[0] and config[0] == config[1]
     }
-    registry = global_registry()
-    if registry.enabled:
-        registry.counter("markov.builder.chains").inc()
-        registry.counter("markov.builder.configurations").inc(len(seen))
-        registry.counter("markov.builder.arcs").inc(len(arcs))
-    return ChainSpec(
-        f"derived:{protocol.name}[n={n}]", tuple(seen), arcs, weights
+    _observe_build(
+        "site_labelled",
+        states=len(order),
+        arcs=len(arcs),
+        expansions=expansions,
+    )
+    return ChainSpec.from_indexed_arcs(
+        f"derived:{protocol.name}[n={n}]",
+        order,
+        {key: (f, r) for key, (f, r) in arcs.items()},
+        weights,
+    )
+
+
+def derive_lumped_chain(
+    protocol: ReplicaControlProtocol,
+    signature: Callable[[Configuration], Hashable],
+    *,
+    max_blocks: int = 50_000,
+    name: str | None = None,
+) -> ChainSpec:
+    """Derive the *lumped* chain directly, one representative per block.
+
+    Explores a single representative configuration per ``signature``
+    label; each representative's n site failure/repair moves supply its
+    block's aggregated outgoing rates.  That is sound exactly when the
+    signature is strongly lumpable for the protocol -- every state of a
+    block shares the same aggregated block rates, which is the property
+    :func:`repro.markov.lumping.lump_chain` verifies exhaustively and the
+    tests pin by comparing the two constructions at small n.
+
+    The payoff is the pipeline's scaling law: O(blocks * n) protocol
+    calls instead of the site-labelled 2^n explosion, which is what makes
+    n=25-50 availability tractable (docs/PERFORMANCE.md).
+    """
+    initial = _initial_configuration(protocol)
+    sites = sorted(protocol.sites)
+    n = protocol.n_sites
+    first = signature(initial)
+    index: dict[Hashable, int] = {first: 0}
+    order: list[Hashable] = [first]
+    representatives: list[Configuration] = [initial]
+    weights: dict[Hashable, Fraction] = {}
+    arcs: dict[tuple[int, int], tuple[int, int]] = {}
+    cursor = 0
+    while cursor < len(representatives):
+        config = representatives[cursor]
+        label = order[cursor]
+        source = cursor
+        cursor += 1
+        up, current, _ = config
+        if up and up == current:
+            weights[label] = Fraction(len(up), n)
+        outgoing: dict[int, list[int]] = {}
+        for site in sites:
+            if site in up:
+                successor = _successor(protocol, config, up - {site}, site)
+                slot = 0
+            else:
+                successor = _successor(protocol, config, up | {site}, None)
+                slot = 1
+            target_label = signature(successor)
+            if target_label == label:
+                continue  # internal moves vanish in the lumped chain
+            target = index.get(target_label)
+            if target is None:
+                if len(index) >= max_blocks:
+                    raise ChainError(
+                        f"lumped chain for {protocol.name} exceeds "
+                        f"{max_blocks} blocks; raise max_blocks if intended"
+                    )
+                target = len(order)
+                index[target_label] = target
+                order.append(target_label)
+                representatives.append(successor)
+            entry = outgoing.setdefault(target, [0, 0])
+            entry[slot] += 1
+        for target, (fails, repairs) in outgoing.items():
+            arcs[(source, target)] = (fails, repairs)
+    _observe_build(
+        "lumped", states=len(order), arcs=len(arcs), expansions=len(order)
+    )
+    return ChainSpec.from_indexed_arcs(
+        name if name is not None else f"lumped:{protocol.name}[n={n}]",
+        order,
+        arcs,
+        weights,
     )
 
 

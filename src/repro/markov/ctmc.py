@@ -30,9 +30,25 @@ from ..obs.metrics import global_registry
 from ..obs.profile import hotpath
 from ..ratfunc import Polynomial, RationalFunction, bareiss_solve, fraction_solve
 
-__all__ = ["Arc", "ChainSpec"]
+__all__ = ["Arc", "ChainSpec", "SPARSE_THRESHOLD"]
 
 State = Hashable
+
+#: States above which ``solver="auto"`` routes steady-state solves to the
+#: scipy.sparse backend in :mod:`repro.markov.sparse` instead of dense
+#: LAPACK (docs/PERFORMANCE.md, "Large-n solvers").
+SPARSE_THRESHOLD = 128
+
+#: Dense-work budget for batched grids, in float64 cells of the stacked
+#: ``(K, n, n)`` generator tensor.  An "auto" grid goes sparse above this
+#: even when the chain itself is under :data:`SPARSE_THRESHOLD`.
+_DENSE_GRID_BUDGET = 8_000_000
+
+#: Hard ceiling for materialising a dense generator at all; beyond it the
+#: allocation alone is a mistake and only the sparse path makes sense.
+_DENSE_MATERIALIZE_LIMIT = 4_096
+
+_SOLVERS = ("auto", "dense", "sparse")
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,9 +101,61 @@ class ChainSpec:
             entry = merged.setdefault(key, [0, 0])
             entry[0] += arc.failures
             entry[1] += arc.repairs
-        self._arcs: dict[tuple[int, int], tuple[int, int]] = {
-            key: (f, r) for key, (f, r) in merged.items()
-        }
+        self._finish_init(
+            index, {key: (f, r) for key, (f, r) in merged.items()}, weights
+        )
+
+    @classmethod
+    def from_indexed_arcs(
+        cls,
+        name: str,
+        states: Iterable[State],
+        indexed_arcs: Mapping[tuple[int, int], tuple[int, int]],
+        weights: Mapping[State, Fraction],
+    ) -> "ChainSpec":
+        """Construct from positionally indexed arcs, no :class:`Arc` objects.
+
+        ``indexed_arcs`` maps ``(source, target)`` state *positions* to
+        already-merged ``(failures, repairs)`` multiplicities.  This is the
+        streaming build path: :func:`repro.markov.builder.derive_chain`
+        accumulates one small integer pair per distinct transition while
+        exploring, so n=25-50 chains assemble without ever holding a
+        per-transition arc list (docs/PERFORMANCE.md).
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self._states = tuple(states)
+        if len(set(self._states)) != len(self._states):
+            raise ChainError(f"duplicate states in chain {name!r}")
+        if not self._states:
+            raise ChainError(f"chain {name!r} has no states")
+        size = len(self._states)
+        merged: dict[tuple[int, int], tuple[int, int]] = {}
+        for (i, j), (f, r) in indexed_arcs.items():
+            if not (0 <= i < size and 0 <= j < size):
+                raise ChainError(
+                    f"arc index ({i}, {j}) out of range for chain {name!r}"
+                )
+            if i == j:
+                raise ChainError(f"self-loop at {self._states[i]!r}")
+            if f < 0 or r < 0:
+                raise ChainError(f"negative rate multiplicity on arc ({i}, {j})")
+            if f == 0 and r == 0:
+                raise ChainError(
+                    f"zero-rate arc {self._states[i]!r} -> {self._states[j]!r}"
+                )
+            merged[(i, j)] = (int(f), int(r))
+        index = {state: i for i, state in enumerate(self._states)}
+        self._finish_init(index, merged, weights)
+        return self
+
+    def _finish_init(
+        self,
+        index: dict[State, int],
+        arcs: dict[tuple[int, int], tuple[int, int]],
+        weights: Mapping[State, Fraction],
+    ) -> None:
+        self._arcs = arcs
         self._index = index
         self._weights = {
             state: Fraction(weights.get(state, 0)) for state in self._states
@@ -96,6 +164,11 @@ class ChainSpec:
             if weight < 0 or weight > 1:
                 raise ChainError(f"weight for {state!r} out of [0, 1]: {weight}")
         self._arc_vectors: tuple[np.ndarray, ...] | None = None
+        self._out_adjacency: tuple[tuple[tuple[State, int, int], ...], ...] | None = (
+            None
+        )
+        self._sparse_pattern: tuple[np.ndarray, ...] | None = None
+        self._dense_oversize_reported = False
         self._check_connected()
 
     # ------------------------------------------------------------------ #
@@ -129,6 +202,25 @@ class ChainSpec:
         key = (self._index[source], self._index[target])
         return self._arcs.get(key, (0, 0))
 
+    def transitions_from(
+        self, source: State
+    ) -> tuple[tuple[State, int, int], ...]:
+        """Outgoing ``(target, failures, repairs)`` arcs of one state.
+
+        Backed by a per-chain adjacency index built once in O(V + E);
+        consumers that walk neighbourhoods (the lumping verifier above
+        all) iterate this instead of probing :meth:`rate` against every
+        state, which was an O(V^2) scan.
+        """
+        if self._out_adjacency is None:
+            adjacency: list[list[tuple[State, int, int]]] = [
+                [] for _ in self._states
+            ]
+            for (i, j), (f, r) in sorted(self._arcs.items()):
+                adjacency[i].append((self._states[j], f, r))
+            self._out_adjacency = tuple(tuple(out) for out in adjacency)
+        return self._out_adjacency[self._index[source]]
+
     def _check_connected(self) -> None:
         """Verify the digraph is strongly connected (irreducible chain).
 
@@ -161,9 +253,53 @@ class ChainSpec:
     # Numeric solution
     # ------------------------------------------------------------------ #
 
+    def _resolve_solver(self, solver: str, grid_size: int = 1) -> str:
+        """Pick the concrete backend for a requested ``solver`` knob.
+
+        ``auto`` goes sparse above :data:`SPARSE_THRESHOLD` states, or
+        when the stacked dense grid tensor would exceed the
+        :data:`_DENSE_GRID_BUDGET` work budget.  Forcing ``dense`` above
+        the threshold is honoured but reported once per chain via the
+        ``markov.solve.dense_oversize`` warning counter.
+        """
+        if solver not in _SOLVERS:
+            raise ChainError(
+                f"unknown solver {solver!r}; expected one of {_SOLVERS}"
+            )
+        if solver == "auto":
+            if self.size > SPARSE_THRESHOLD:
+                return "sparse"
+            if grid_size * self.size * self.size > _DENSE_GRID_BUDGET:
+                return "sparse"
+            return "dense"
+        if solver == "dense" and self.size > SPARSE_THRESHOLD:
+            if self.size > _DENSE_MATERIALIZE_LIMIT:
+                raise ChainError(
+                    f"chain {self.name!r} has {self.size} states; dense "
+                    "solves are capped at "
+                    f"{_DENSE_MATERIALIZE_LIMIT} -- use solver='sparse'"
+                )
+            self._report_dense_oversize()
+        return solver
+
+    def _report_dense_oversize(self) -> None:
+        """One-time warning metric: a forced dense solve above threshold."""
+        if self._dense_oversize_reported:
+            return
+        self._dense_oversize_reported = True
+        registry = global_registry()
+        if registry.enabled:
+            registry.counter("markov.solve.dense_oversize").inc()
+
     def generator_matrix(self, lam: float, mu: float) -> np.ndarray:
         """The generator Q (rows sum to zero) at concrete rates."""
         size = len(self._states)
+        if size > _DENSE_MATERIALIZE_LIMIT:
+            raise ChainError(
+                f"chain {self.name!r} has {size} states; a dense generator "
+                f"would allocate {size}x{size} floats.  Route through the "
+                "sparse backend instead (solver='sparse')."
+            )
         q = np.zeros((size, size))
         for (i, j), (f, r) in self._arcs.items():
             q[i, j] = f * lam + r * mu
@@ -194,10 +330,23 @@ class ChainSpec:
         scope.gauge("states").set(self.size)
         scope.gauge("arcs").set(len(self._arcs))
 
-    def steady_state(self, ratio: float, lam: float = 1.0) -> dict[State, float]:
-        """Stationary distribution at ``mu = ratio * lam`` (floats)."""
+    def steady_state(
+        self, ratio: float, lam: float = 1.0, *, solver: str = "auto"
+    ) -> dict[State, float]:
+        """Stationary distribution at ``mu = ratio * lam`` (floats).
+
+        ``solver`` is ``"dense"`` (LAPACK on the materialised generator),
+        ``"sparse"`` (CSR + scipy.sparse.linalg, see
+        :mod:`repro.markov.sparse`) or ``"auto"`` (dense below
+        :data:`SPARSE_THRESHOLD` states, sparse above -- both solve the
+        identical normalised balance system).
+        """
         if ratio <= 0:
             raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+        if self._resolve_solver(solver) == "sparse":
+            from .sparse import sparse_steady_state
+
+            return dict(zip(self._states, sparse_steady_state(self, ratio, lam)))
         self._observe_solve("numeric")
         q = self.generator_matrix(lam, ratio * lam)
         size = q.shape[0]
@@ -208,9 +357,9 @@ class ChainSpec:
         pi = np.linalg.solve(a, b)
         return dict(zip(self._states, pi))
 
-    def availability(self, ratio: float) -> float:
+    def availability(self, ratio: float, *, solver: str = "auto") -> float:
         """Site availability ``sum w(s) pi(s)`` at a float ratio."""
-        pi = self.steady_state(ratio)
+        pi = self.steady_state(ratio, solver=solver)
         return float(
             sum(float(self._weights[s]) * p for s, p in pi.items())
         )
@@ -239,7 +388,11 @@ class ChainSpec:
         return self._arc_vectors
 
     def steady_state_grid(
-        self, ratios: "np.typing.ArrayLike", lam: float = 1.0
+        self,
+        ratios: "np.typing.ArrayLike",
+        lam: float = 1.0,
+        *,
+        solver: str = "auto",
     ) -> np.ndarray:
         """Stationary distributions at every ratio, one batched solve.
 
@@ -259,6 +412,10 @@ class ChainSpec:
             raise ChainError("ratio grid is empty")
         if np.any(grid <= 0):
             raise ChainError("repair/failure ratios must all be positive")
+        if self._resolve_solver(solver, grid_size=int(grid.size)) == "sparse":
+            from .sparse import sparse_steady_state_grid
+
+            return sparse_steady_state_grid(self, grid, lam)
         self._observe_solve("batched", grid_size=int(grid.size))
         rows, cols, fails, reps, _ = self._arc_index_arrays()
         size = self.size
@@ -275,14 +432,18 @@ class ChainSpec:
         with hotpath("markov.solve.batched"):
             return np.linalg.solve(a, b[:, :, None])[:, :, 0]
 
-    def availability_grid(self, ratios: "np.typing.ArrayLike") -> np.ndarray:
+    def availability_grid(
+        self, ratios: "np.typing.ArrayLike", *, solver: str = "auto"
+    ) -> np.ndarray:
         """Site availabilities across a ratio grid, one batched solve.
 
         ``(K,)`` array: the batched counterpart of calling
         :meth:`availability` per point (Section VI's figure curves).
+        Large chains (``size > SPARSE_THRESHOLD``) route through the
+        sparse backend automatically; ``solver`` forces a backend.
         """
         _, _, _, _, weights = self._arc_index_arrays()
-        return self.steady_state_grid(ratios) @ weights
+        return self.steady_state_grid(ratios, solver=solver) @ weights
 
     # ------------------------------------------------------------------ #
     # Exact solution at a rational ratio

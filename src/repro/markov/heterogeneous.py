@@ -22,8 +22,10 @@ import numpy as np
 
 from ..core.base import ReplicaControlProtocol
 from ..errors import ChainError
+from ..obs.metrics import global_registry
 from ..types import SiteId
 from .builder import Configuration, _initial_configuration, _successor
+from .ctmc import SPARSE_THRESHOLD
 
 __all__ = ["heterogeneous_availability", "heterogeneous_steady_state"]
 
@@ -85,11 +87,24 @@ def heterogeneous_steady_state(
     failure_rates: Mapping[SiteId, float],
     repair_rates: Mapping[SiteId, float],
     max_states: int = 50_000,
+    *,
+    solver: str = "auto",
 ) -> dict[Configuration, float]:
-    """Exact (site-labelled) stationary distribution under per-site rates."""
+    """Exact (site-labelled) stationary distribution under per-site rates.
+
+    Site-labelled state spaces grow exponentially, so ``auto`` routes
+    chains above :data:`repro.markov.ctmc.SPARSE_THRESHOLD` states
+    through a scipy.sparse assembly + LU instead of materialising the
+    dense generator (same normalised balance system either way).
+    """
+    if solver not in ("auto", "dense", "sparse"):
+        raise ChainError(f"unknown solver {solver!r}")
     _validate_rates(protocol, failure_rates, repair_rates)
     order, edges = _explore(protocol, max_states)
     size = len(order)
+    if solver == "sparse" or (solver == "auto" and size > SPARSE_THRESHOLD):
+        pi = _sparse_solve(edges, size, failure_rates, repair_rates)
+        return dict(zip(order, pi))
     q = np.zeros((size, size))
     for (i, j), labels in edges.items():
         rate = sum(
@@ -105,6 +120,49 @@ def heterogeneous_steady_state(
     b[-1] = 1.0
     pi = np.linalg.solve(a, b)
     return dict(zip(order, pi))
+
+
+def _sparse_solve(
+    edges: Mapping[tuple[int, int], list[tuple[SiteId, bool]]],
+    size: int,
+    failure_rates: Mapping[SiteId, float],
+    repair_rates: Mapping[SiteId, float],
+) -> np.ndarray:
+    """Assemble the normalised balance system sparsely and LU-solve it."""
+    import scipy.sparse
+    import scipy.sparse.linalg
+
+    outflow = np.zeros(size)
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for (i, j), labels in edges.items():
+        rate = sum(
+            failure_rates[site] if is_failure else repair_rates[site]
+            for site, is_failure in labels
+        )
+        outflow[i] += rate
+        if j != size - 1:
+            rows.append(j)
+            cols.append(i)
+            data.append(rate)
+    for i in range(size - 1):
+        rows.append(i)
+        cols.append(i)
+        data.append(-outflow[i])
+    rows.extend([size - 1] * size)
+    cols.extend(range(size))
+    data.extend([1.0] * size)
+    registry = global_registry()
+    if registry.enabled:
+        registry.counter("markov.solve.sparse").inc()
+        registry.histogram("markov.solve.dimension").observe(size)
+    matrix = scipy.sparse.csc_matrix(
+        (np.asarray(data), (rows, cols)), shape=(size, size)
+    )
+    b = np.zeros(size)
+    b[-1] = 1.0
+    return scipy.sparse.linalg.spsolve(matrix, b)
 
 
 def heterogeneous_availability(

@@ -1,0 +1,178 @@
+"""scipy.sparse steady-state backend for large chains.
+
+The paper's availability model (Section VI's Markov analysis, validated
+by the 3600-point grid check) needs only small chains for its published
+tables; carrying the same curves to n=25-50 sites does not.  The dense
+path in :mod:`repro.markov.ctmc` materialises the full ``(K, n, n)``
+generator tensor, which stops being reasonable around a few hundred
+states -- exactly where the large-n availability questions live (lumped
+witness chains, site-labelled validation chains).  This module solves
+the *identical* normalised balance system sparsely:
+
+* the transposed generator ``A = Q^T`` is assembled in one pass from the
+  chain's cached arc index (:meth:`ChainSpec._arc_index_arrays`);
+* the last balance equation is replaced by the normalisation row of ones
+  (the same trick as the dense path, so results agree to solver
+  precision);
+* each grid point is solved by a sparse LU factorisation
+  (``scipy.sparse.linalg.spsolve``) or, on request, ILU-preconditioned
+  GMRES with a direct-solve fallback.
+
+Because every rate is ``a*lambda + b*mu``, the matrix *pattern* and its
+(lambda, mu) coefficient arrays are ratio-independent: they are computed
+once per chain and cached, so a K-point grid costs K factorisations and
+zero re-assembly passes over the arc dictionary.
+
+Telemetry: solves land on the shared ``markov.solve.*`` series (mode
+``sparse``) plus the ``markov.solve.sparse`` hotpath wall timer
+(docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from ..errors import ChainError
+from ..obs.metrics import global_registry
+from ..obs.profile import hotpath
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .ctmc import ChainSpec
+
+__all__ = ["sparse_steady_state", "sparse_steady_state_grid", "GMRES_TOLERANCE"]
+
+#: Relative residual target for the GMRES path; chosen to match the
+#: accuracy the parity tests pin against the dense solve.
+GMRES_TOLERANCE = 1e-12
+
+_METHODS = ("direct", "gmres")
+
+
+def _system_pattern(spec: "ChainSpec") -> tuple[np.ndarray, ...]:
+    """Ratio-independent structure of the normalised system ``A x = b``.
+
+    Returns ``(rows, cols, lam_coeff, mu_coeff, const)`` such that the
+    entry values at concrete rates are
+    ``lam_coeff * lambda + mu_coeff * mu + const``:
+
+    * transposed transition entries ``A[j, i] = q(i -> j)`` for every arc
+      whose target is not the normalisation row;
+    * diagonal entries ``A[i, i] = -outflow(i)`` for ``i < size - 1``;
+    * the ones-row ``A[size-1, :] = 1`` (constant, rate-free).
+
+    Cached on the chain (``spec._sparse_pattern``) alongside the dense
+    arc vectors.
+    """
+    if spec._sparse_pattern is not None:
+        return spec._sparse_pattern
+    arc_rows, arc_cols, fails, reps, _ = spec._arc_index_arrays()
+    size = spec.size
+    keep = arc_cols != size - 1
+    transition_rows = arc_cols[keep]
+    transition_cols = arc_rows[keep]
+    outflow_fails = np.bincount(arc_rows, weights=fails, minlength=size)
+    outflow_reps = np.bincount(arc_rows, weights=reps, minlength=size)
+    diagonal = np.arange(size - 1)
+    rows = np.concatenate(
+        [transition_rows, diagonal, np.full(size, size - 1, dtype=np.intp)]
+    )
+    cols = np.concatenate([transition_cols, diagonal, np.arange(size)])
+    lam_coeff = np.concatenate(
+        [fails[keep], -outflow_fails[:-1], np.zeros(size)]
+    )
+    mu_coeff = np.concatenate([reps[keep], -outflow_reps[:-1], np.zeros(size)])
+    const = np.concatenate(
+        [np.zeros(int(keep.sum()) + size - 1), np.ones(size)]
+    )
+    spec._sparse_pattern = (rows, cols, lam_coeff, mu_coeff, const)
+    return spec._sparse_pattern
+
+
+def _assemble(
+    pattern: tuple[np.ndarray, ...], size: int, lam: float, mu: float
+) -> scipy.sparse.csc_matrix:
+    """The normalised system matrix at concrete rates (CSC for the LU)."""
+    rows, cols, lam_coeff, mu_coeff, const = pattern
+    data = lam_coeff * lam + mu_coeff * mu + const
+    return scipy.sparse.csc_matrix((data, (rows, cols)), shape=(size, size))
+
+
+def _gmres_solve(matrix: scipy.sparse.csc_matrix, b: np.ndarray) -> np.ndarray:
+    """ILU-preconditioned GMRES; falls back to the direct LU on stall."""
+    preconditioner = None
+    try:
+        ilu = scipy.sparse.linalg.spilu(matrix)
+        preconditioner = scipy.sparse.linalg.LinearOperator(
+            matrix.shape, ilu.solve
+        )
+    except RuntimeError:
+        pass  # singular ILU pivot: run unpreconditioned, fallback catches it
+    solution, info = scipy.sparse.linalg.gmres(
+        matrix, b, M=preconditioner, rtol=GMRES_TOLERANCE, atol=0.0
+    )
+    if info != 0:
+        registry = global_registry()
+        if registry.enabled:
+            registry.counter("markov.solve.gmres_fallback").inc()
+        return scipy.sparse.linalg.spsolve(matrix, b)
+    return solution
+
+
+def sparse_steady_state_grid(
+    spec: "ChainSpec",
+    ratios: "np.typing.ArrayLike",
+    lam: float = 1.0,
+    *,
+    method: str = "direct",
+) -> np.ndarray:
+    """Stationary distributions across a ratio grid, sparsely.
+
+    The sparse counterpart of :meth:`ChainSpec.steady_state_grid`:
+    returns a ``(K, size)`` array whose row *k* is the stationary
+    distribution at ``mu = ratios[k] * lam`` (state order =
+    ``spec.states``).  Each point solves the same normalised balance
+    system as the dense path, so the two backends agree to solver
+    precision (pinned by the parity tests).
+    """
+    grid = np.asarray(ratios, dtype=np.float64)
+    if grid.ndim != 1:
+        raise ChainError(f"ratio grid must be one-dimensional: {grid.shape}")
+    if grid.size == 0:
+        raise ChainError("ratio grid is empty")
+    if np.any(grid <= 0):
+        raise ChainError("repair/failure ratios must all be positive")
+    if method not in _METHODS:
+        raise ChainError(
+            f"unknown sparse method {method!r}; expected one of {_METHODS}"
+        )
+    pattern = _system_pattern(spec)
+    size = spec.size
+    spec._observe_solve("sparse", grid_size=int(grid.size))
+    b = np.zeros(size)
+    b[-1] = 1.0
+    out = np.empty((grid.size, size))
+    with hotpath("markov.solve.sparse"):
+        for k, ratio in enumerate(grid):
+            matrix = _assemble(pattern, size, lam, float(ratio) * lam)
+            if method == "gmres":
+                out[k] = _gmres_solve(matrix, b)
+            else:
+                out[k] = scipy.sparse.linalg.spsolve(matrix, b)
+    return out
+
+
+def sparse_steady_state(
+    spec: "ChainSpec",
+    ratio: float,
+    lam: float = 1.0,
+    *,
+    method: str = "direct",
+) -> np.ndarray:
+    """One stationary distribution at ``mu = ratio * lam``, sparsely."""
+    if ratio <= 0:
+        raise ChainError(f"repair/failure ratio must be positive: {ratio}")
+    return sparse_steady_state_grid(spec, [ratio], lam, method=method)[0]

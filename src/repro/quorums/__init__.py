@@ -13,7 +13,11 @@ from .coterie import (
     primary_copy_coterie,
     tree_coterie,
 )
-from .optimal import OptimalAssignment, optimal_vote_assignment
+from .optimal import (
+    OptimalAssignment,
+    local_search_vote_assignment,
+    optimal_vote_assignment,
+)
 from .vote_assignment import (
     VoteAssignment,
     majority_availability,
@@ -29,6 +33,7 @@ __all__ = [
     "VoteAssignment",
     "OptimalAssignment",
     "optimal_vote_assignment",
+    "local_search_vote_assignment",
     "majority_availability",
     "uniform_up_probability",
 ]

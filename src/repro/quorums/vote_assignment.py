@@ -12,9 +12,13 @@ availability measures used in the paper's Section VI-C:
   uniformly random site finds that site up *and* inside a quorum-holding
   partition (the measure the paper adopts).
 
-Exact enumeration is exponential in *n* but instantaneous for the paper's
-range (n <= 20 would need smarter counting; the uniform-probability fast
-path below handles any *n* with binomial sums).
+Exact enumeration is exponential in *n*, so both measures also have a
+dynamic-programming evaluator over the joint (votes held, sites up)
+distribution -- O(n * total_votes * n) instead of 2**n -- which is what
+carries the optimal-placement search to n=25 and beyond
+(``method="auto"`` switches over automatically; the two evaluators are
+pinned equal in the tests).  The uniform-probability fast path below
+handles any *n* with binomial sums.
 """
 
 from __future__ import annotations
@@ -29,6 +33,12 @@ from ..types import SiteId, validate_sites
 from .coterie import Coterie, coterie_from_votes
 
 __all__ = ["VoteAssignment", "majority_availability", "uniform_up_probability"]
+
+#: Site count above which ``method="auto"`` switches from the 2**n subset
+#: enumeration to the polynomial DP evaluator.
+_ENUMERATION_LIMIT = 16
+
+_METHODS = ("auto", "enumerate", "dp")
 
 
 def uniform_up_probability(repair_failure_ratio: float) -> float:
@@ -101,31 +111,106 @@ class VoteAssignment:
                 raise ProtocolError(f"P(up) for {site} out of range: {p}")
         return table
 
+    def _resolve_method(self, method: str) -> str:
+        if method not in _METHODS:
+            raise ProtocolError(
+                f"unknown evaluation method {method!r}; expected {_METHODS}"
+            )
+        if method == "auto":
+            return "dp" if len(self.sites) > _ENUMERATION_LIMIT else "enumerate"
+        return method
+
     def availability(
-        self, up_probability: float | Mapping[SiteId, float]
+        self,
+        up_probability: float | Mapping[SiteId, float],
+        *,
+        method: str = "auto",
     ) -> float:
-        """Traditional measure: P(the up set contains a vote majority)."""
+        """Traditional measure: P(the up set contains a vote majority).
+
+        ``method`` selects the evaluator: ``"enumerate"`` (the 2**n
+        subset walk), ``"dp"`` (the polynomial joint-distribution DP) or
+        ``"auto"`` (enumeration up to n=16, DP above).
+        """
         table = self._up_probability(up_probability)
+        if self._resolve_method(method) == "dp":
+            return self._dp_availability(table, measure="traditional")
         return sum(
             weight for up, weight in self._enumerate(table) if self.has_quorum(up)
         )
 
     def site_availability(
-        self, up_probability: float | Mapping[SiteId, float]
+        self,
+        up_probability: float | Mapping[SiteId, float],
+        *,
+        method: str = "auto",
     ) -> float:
         """Site measure: P(random arrival site is up and holds a quorum).
 
         This is the paper's measure: the update must arrive at one of the
         *k* functioning sites of a distinguished partition, contributing a
-        factor ``k/n``.
+        factor ``k/n``.  ``method`` as in :meth:`availability`.
         """
         table = self._up_probability(up_probability)
         n = len(self.sites)
+        if self._resolve_method(method) == "dp":
+            return self._dp_availability(table, measure="site")
         return sum(
             weight * len(up) / n
             for up, weight in self._enumerate(table)
             if self.has_quorum(up)
         )
+
+    def _dp_availability(
+        self, table: Mapping[SiteId, float], measure: str
+    ) -> float:
+        """Polynomial-time exact availability via the joint distribution.
+
+        A quorum decision depends on the up set only through the votes it
+        holds; the site measure additionally needs the up *count* for the
+        ``k/n`` arrival factor.  So the full 2**n pattern sum collapses
+        onto the joint distribution of (votes held, sites up), built by a
+        DP over sites in O(n * total * n) cells -- the evaluator behind
+        the n>=25 placement sweeps (docs/PERFORMANCE.md).
+        """
+        distribution = self._vote_up_distribution(table)
+        total = self.total
+        n = len(self.sites)
+        value = 0.0
+        for held in range(total // 2 + 1, total + 1):
+            row = distribution[held]
+            if measure == "site":
+                value += sum(row[k] * k / n for k in range(1, n + 1))
+            else:
+                value += sum(row)
+        return value
+
+    def _vote_up_distribution(
+        self, table: Mapping[SiteId, float]
+    ) -> list[list[float]]:
+        """``dist[v][k]`` = P(up sites hold v votes and k sites are up)."""
+        total = self.total
+        n = len(self.sites)
+        dist = [[0.0] * (n + 1) for _ in range(total + 1)]
+        dist[0][0] = 1.0
+        for position, site in enumerate(sorted(self.sites)):
+            p = table[site]
+            q = 1.0 - p
+            v = self.votes[site]
+            nxt = [[0.0] * (n + 1) for _ in range(total + 1)]
+            for held in range(total + 1):
+                row = dist[held]
+                target_stay = nxt[held]
+                target_up = nxt[held + v] if held + v <= total else None
+                for k in range(position + 1):
+                    weight = row[k]
+                    if weight == 0.0:
+                        continue
+                    target_stay[k] += weight * q
+                    if target_up is not None:
+                        target_up[k + 1] += weight * p
+            dist = nxt
+        return dist
 
     def _enumerate(self, table: Mapping[SiteId, float]):
         """Yield (up set, probability) for all 2**n failure patterns."""

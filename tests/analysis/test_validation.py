@@ -7,9 +7,12 @@ import pytest
 from repro.analysis import (
     derived_chain_agreement,
     grid_agreement,
+    lumped_chain_agreement,
     montecarlo_agreement,
     paper_grid,
+    solver_agreement,
 )
+from repro.errors import AnalysisError
 
 
 class TestPaperGrid:
@@ -76,3 +79,25 @@ class TestDerivedChainAgreement:
     def test_modified_hybrid_agreement(self):
         report = derived_chain_agreement("modified-hybrid", 4)
         assert report["max_abs_error"] < 1e-10
+
+
+class TestLargeNValidation:
+    def test_solver_agreement_at_n25(self):
+        result = solver_agreement("dynamic", 25, [0.5, 1.0, 2.0, 8.0])
+        assert result.n_sites == 25
+        assert result.points == 4
+        assert result.ok(1e-12)
+
+    def test_lumped_chain_agreement_at_n25(self):
+        result = lumped_chain_agreement("hybrid", 25)
+        assert result.n_sites == 25
+        assert result.ok(1e-12)
+
+    def test_lumped_chain_agreement_needs_a_signature(self):
+        with pytest.raises(AnalysisError, match="no lumping signature"):
+            lumped_chain_agreement("primary-site-voting", 5)
+
+    def test_solver_agreement_defaults_to_the_paper_grid(self):
+        result = solver_agreement("voting", 25)
+        assert result.points == 200
+        assert result.ok(1e-12)

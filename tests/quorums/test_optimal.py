@@ -5,8 +5,10 @@ import pytest
 from repro.errors import ProtocolError
 from repro.quorums import (
     VoteAssignment,
+    local_search_vote_assignment,
     optimal_vote_assignment,
 )
+from repro.quorums.optimal import _search_seeds
 from repro.types import site_names
 
 
@@ -81,3 +83,86 @@ class TestSearch:
             site_names(2), {"A": 0.8, "B": 0.8}, max_votes_per_site=1
         )
         assert result.evaluated == 3  # (0,1), (1,0), (1,1)
+
+
+class TestLocalSearch:
+    """Multi-start steepest ascent pinned to the exhaustive optimum."""
+
+    # Six heterogeneous n=5 instances covering the optimum families the
+    # seeds target (near-uniform, dictator, majority-of-the-reliable,
+    # tiered) plus adversarial mixes that defeated single-start ascent.
+    PANEL = [
+        {"A": 0.70, "B": 0.70, "C": 0.70, "D": 0.99, "E": 0.51},
+        {"A": 0.51, "B": 0.52, "C": 0.90, "D": 0.91, "E": 0.92},
+        {"A": 0.60, "B": 0.65, "C": 0.70, "D": 0.75, "E": 0.80},
+        {"A": 0.95, "B": 0.55, "C": 0.55, "D": 0.55, "E": 0.55},
+        {"A": 0.80, "B": 0.80, "C": 0.80, "D": 0.80, "E": 0.80},
+        {"A": 0.50, "B": 0.60, "C": 0.98, "D": 0.97, "E": 0.55},
+    ]
+
+    @pytest.mark.parametrize("probabilities", PANEL)
+    @pytest.mark.parametrize("measure", ["site", "traditional"])
+    def test_matches_exhaustive_on_panel(self, probabilities, measure):
+        sites = site_names(5)
+        exhaustive = optimal_vote_assignment(
+            sites, probabilities, max_votes_per_site=3, measure=measure
+        )
+        searched = local_search_vote_assignment(
+            sites, probabilities, max_votes_per_site=3, measure=measure
+        )
+        assert searched.availability == pytest.approx(
+            exhaustive.availability, abs=1e-12
+        )
+        assert searched.evaluated < exhaustive.evaluated
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_matches_exhaustive_on_ladders(self, n):
+        sites = site_names(n)
+        probabilities = {
+            site: 0.55 + 0.4 * i / (n - 1) for i, site in enumerate(sites)
+        }
+        exhaustive = optimal_vote_assignment(
+            sites, probabilities, max_votes_per_site=2
+        )
+        searched = local_search_vote_assignment(
+            sites, probabilities, max_votes_per_site=2
+        )
+        assert searched.availability == pytest.approx(
+            exhaustive.availability, abs=1e-12
+        )
+
+    def test_deterministic(self):
+        sites = site_names(6)
+        probabilities = {s: 0.6 + 0.05 * i for i, s in enumerate(sites)}
+        first = local_search_vote_assignment(sites, probabilities)
+        second = local_search_vote_assignment(sites, probabilities)
+        assert first.votes == second.votes
+        assert first.availability == second.availability
+
+    def test_beats_every_seed(self):
+        sites = site_names(5)
+        probabilities = {"A": 0.6, "B": 0.7, "C": 0.8, "D": 0.9, "E": 0.95}
+        result = local_search_vote_assignment(sites, probabilities)
+        for seed in _search_seeds(sites, probabilities, 3):
+            candidate = VoteAssignment.weighted(sites, seed)
+            assert result.availability >= candidate.site_availability(
+                probabilities, method="dp"
+            ) - 1e-12
+
+    def test_invalid_measure_rejected(self):
+        with pytest.raises(ProtocolError):
+            local_search_vote_assignment(
+                site_names(2), {"A": 0.5, "B": 0.5}, measure="x"
+            )
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ProtocolError):
+            local_search_vote_assignment(
+                site_names(2), {"A": 0.5, "B": 0.5}, max_votes_per_site=0
+            )
+
+    def test_zero_moves_rejected(self):
+        with pytest.raises(ProtocolError):
+            local_search_vote_assignment(
+                site_names(2), {"A": 0.5, "B": 0.5}, max_moves=0
+            )

@@ -157,3 +157,62 @@ class TestSymbolicAvailability:
 
         with pytest.raises(ProtocolError):
             VoteAssignment.uniform(site_names(2)).availability_symbolic("x")
+
+
+class TestDpEvaluator:
+    """The polynomial DP evaluator against subset enumeration."""
+
+    def test_site_measure_matches_enumeration(self):
+        sites = site_names(7)
+        probabilities = {s: 0.5 + 0.06 * i for i, s in enumerate(sites)}
+        assignment = VoteAssignment.weighted(
+            sites, {s: (i % 3) + 1 for i, s in enumerate(sites)}
+        )
+        assert assignment.site_availability(
+            probabilities, method="dp"
+        ) == pytest.approx(
+            assignment.site_availability(probabilities, method="enumerate"),
+            abs=1e-12,
+        )
+
+    def test_traditional_measure_matches_enumeration(self):
+        sites = site_names(7)
+        probabilities = {s: 0.5 + 0.06 * i for i, s in enumerate(sites)}
+        assignment = VoteAssignment.weighted(
+            sites, {s: (i % 3) + 1 for i, s in enumerate(sites)}
+        )
+        assert assignment.availability(
+            probabilities, method="dp"
+        ) == pytest.approx(
+            assignment.availability(probabilities, method="enumerate"),
+            abs=1e-12,
+        )
+
+    def test_auto_routes_large_n_to_dp(self):
+        # 2^25 subsets is not enumerable; only the DP path can answer,
+        # and at uniform votes it must equal the binomial closed form.
+        from repro.quorums import majority_availability
+
+        sites = site_names(25)
+        probabilities = dict.fromkeys(sites, 0.8)
+        value = VoteAssignment.uniform(sites).site_availability(probabilities)
+        assert value == pytest.approx(
+            majority_availability(25, 0.8, measure="site"), abs=1e-12
+        )
+
+    def test_uniform_dp_matches_closed_form(self):
+        from repro.quorums import majority_availability
+
+        sites = site_names(9)
+        value = VoteAssignment.uniform(sites).availability(
+            dict.fromkeys(sites, 0.7), method="dp"
+        )
+        assert value == pytest.approx(
+            majority_availability(9, 0.7, measure="traditional"), abs=1e-12
+        )
+
+    def test_unknown_method_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            VoteAssignment.uniform(site_names(3)).availability(0.8, method="x")

@@ -401,10 +401,12 @@ class TestBenchCommands:
             "mc.vectorized.hybrid.n5",
             "markov.grid.batched.n5",
             "markov.grid.horner.n5",
+            "markov.lumped.n25",
+            "markov.sparse.n25",
             "netsim.causal.overhead.n5",
         }
         assert all(r["git"] for r in run_doc["records"])
-        assert len(history.read_text().splitlines()) == 5
+        assert len(history.read_text().splitlines()) == 7
         assert json.loads(trajectory.read_text())["schema"] == (
             "repro.bench-trajectory/1"
         )
@@ -460,3 +462,56 @@ class TestBenchCommands:
         code = main(["bench", "compare", str(missing), str(missing)])
         assert code == 2
         assert "repro bench:" in capsys.readouterr().err
+
+
+class TestGridCommand:
+    def test_text_table(self, capsys):
+        assert main([
+            "grid", "--protocol", "dynamic", "-n", "25", "--points", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic n=25" in out
+        assert "availability" in out
+
+    def test_forced_sparse_reports_the_sparse_counter(self, capsys):
+        assert main([
+            "grid", "--protocol", "hybrid", "-n", "25", "--points", "4",
+            "--solver", "sparse",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sparse=1" in out
+
+    def test_json_output(self, capsys):
+        assert main([
+            "grid", "--protocol", "dynamic", "-n", "25", "--points", "3",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "dynamic"
+        assert payload["n_sites"] == 25
+        assert len(payload["grid"]) == 3
+        assert all(0 < row["availability"] < 1 for row in payload["grid"])
+
+    def test_solvers_agree(self, capsys):
+        curves = []
+        for solver in ("dense", "sparse"):
+            assert main([
+                "grid", "--protocol", "dynamic", "-n", "25", "--points", "4",
+                "--solver", solver, "--json",
+            ]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            curves.append([row["availability"] for row in payload["grid"]])
+        assert max(
+            abs(a - b) for a, b in zip(curves[0], curves[1])
+        ) <= 1e-12
+
+    def test_unknown_protocol_fails_cleanly(self, capsys):
+        assert main([
+            "grid", "--protocol", "nonesuch", "-n", "5", "--points", "2",
+        ]) == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_bad_range_rejected(self, capsys):
+        assert main([
+            "grid", "-n", "5", "--points", "2", "--start", "5", "--stop", "1",
+        ]) == 2
